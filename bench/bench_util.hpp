@@ -1,0 +1,51 @@
+// Shared plumbing for the paper-table benchmark harnesses.
+#pragma once
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "machine/sim_machine.hpp"
+#include "support/table.hpp"
+
+namespace concert::bench {
+
+/// Reads a scale parameter from the environment (so the paper-scale runs are
+/// one env var away from the CI-scale defaults).
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? static_cast<std::size_t>(std::strtoull(v, nullptr, 10)) : fallback;
+}
+
+inline double env_double(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtod(v, nullptr) : fallback;
+}
+
+/// Wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline MachineConfig make_config(ExecMode mode, const CostModel& costs) {
+  MachineConfig cfg;
+  cfg.mode = mode;
+  cfg.costs = costs;
+  return cfg;
+}
+
+/// Prints a header like the paper's table captions.
+inline void print_caption(const std::string& text) {
+  std::cout << "\n=== " << text << " ===\n";
+}
+
+}  // namespace concert::bench

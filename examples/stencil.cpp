@@ -1,0 +1,53 @@
+// Data-layout adaptation on a real kernel: the SOR stencil from the paper's
+// Table 4, run over several block-cyclic layouts on a simulated 16-node CM-5.
+// Watch the same program — unchanged — shift work from heap contexts to the
+// stack as the layout gets blockier, exactly the adaptation the hybrid
+// execution model exists for (and see Fig. 9: contexts live on the tile
+// perimeters only).
+//
+// Build & run:  ./examples/stencil
+#include <iostream>
+
+#include "apps/sor/sor.hpp"
+#include "machine/sim_machine.hpp"
+#include "support/table.hpp"
+
+using namespace concert;
+
+int main() {
+  sor::Params params;
+  params.n = 32;
+  params.pgrid = 4;
+  params.iters = 3;
+
+  TablePrinter t({"block size", "local fraction", "stack completions", "heap contexts",
+                  "simulated ms", "grid == serial reference?"});
+
+  for (std::size_t block : {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    params.block = block;
+    MachineConfig cfg;
+    cfg.costs = CostModel::cm5();
+    SimMachine machine(params.nodes(), cfg);
+    auto ids = sor::register_sor(machine.registry(), params);
+    machine.registry().finalize();
+    auto world = sor::build(machine, ids, params);
+    if (!sor::run(machine, ids, world)) {
+      std::cerr << "driver failed\n";
+      return 1;
+    }
+    const bool exact = sor::extract(machine, world) == sor::reference(params);
+    const NodeStats s = machine.total_stats();
+    t.add_row({std::to_string(block), fmt_double(params.layout().local_fraction(), 3),
+               std::to_string(s.stack_completions), std::to_string(s.contexts_allocated),
+               fmt_double(machine.elapsed_seconds() * 1e3, 2), exact ? "yes" : "NO"});
+    if (!exact) return 1;
+  }
+
+  std::cout << "SOR " << params.n << "x" << params.n << " on a simulated 16-node CM-5, "
+            << params.iters << " iterations, one invocation per cell read/update:\n\n";
+  t.print(std::cout);
+  std::cout << "\nSame program, same answers; only the data layout changed. The runtime\n"
+               "discovered the locality at run time and moved the interior of each tile\n"
+               "onto the stack.\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// EM3D — the irregular kernel with selectable communication structure
+// (paper Sec. 4.3.3, Table 6).
+//
+// A bipartite graph of E and H nodes; each step updates every E node from its
+// H in-neighbors (value -= sum of weight * neighbor), then every H node from
+// its E in-neighbors. Three program versions exercise three communication and
+// synchronization structures over the *same* graph:
+//
+//   * pull    — each node reads its in-neighbors directly (possibly remote
+//               get_value invocations).
+//   * push    — each source writes its value into every consumer's inbox
+//               (one invocation per edge), consumers then combine locally.
+//   * forward — like push, but one *chain* message per (source, set of
+//               remote consumers): the message visits each consuming node in
+//               turn, applying its local entries and forwarding the rest —
+//               the reply obligation travels with the continuation. Fewer,
+//               longer messages and a single reply per chain.
+//
+// Locality is a build parameter: each consumer edge picks an on-node source
+// with probability `local_fraction`, else a uniformly random (mostly remote)
+// one — reproducing Table 6's low (~0.015:1) and high (99:1) ratios.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/barrier.hpp"
+#include "core/registry.hpp"
+#include "machine/machine.hpp"
+
+namespace concert::em3d {
+
+enum class Version : std::uint8_t { Pull = 0, Push = 1, Forward = 2 };
+
+inline const char* version_name(Version v) {
+  switch (v) {
+    case Version::Pull: return "pull";
+    case Version::Push: return "push";
+    case Version::Forward: return "forward";
+  }
+  return "?";
+}
+
+struct Params {
+  std::size_t graph_nodes = 256;  ///< Total graph nodes (half E, half H).
+  std::size_t degree = 8;         ///< In-edges per node.
+  int iters = 4;
+  double local_fraction = 0.5;    ///< Probability an edge's source is on-node.
+  std::uint64_t seed = 77;
+};
+
+struct Ids {
+  MethodId get_value = kInvalidMethod;
+  MethodId compute_pull = kInvalidMethod;
+  MethodId recv_value = kInvalidMethod;
+  MethodId combine_node = kInvalidMethod;
+  MethodId fwd_update = kInvalidMethod;
+  MethodId driver = kInvalidMethod;
+  BarrierMethods barrier;
+};
+
+struct GNode {
+  double value = 0.0;
+  std::vector<std::uint32_t> srcs;   ///< in-edge sources (global ids).
+  std::vector<double> weights;       ///< in-edge weights.
+  std::vector<double> inbox;         ///< push/forward delivery slots (per in-edge).
+};
+
+struct Consumer {
+  std::uint32_t dst;   ///< consuming graph node.
+  std::uint16_t slot;  ///< its inbox slot for this edge.
+};
+
+struct NodeContainer {
+  std::unordered_map<std::uint32_t, GNode> nodes;
+  std::vector<std::uint32_t> my_e, my_h;
+  /// Per owned source: consumers of its value, sorted by owner node then id
+  /// (the forward chains follow this order).
+  std::unordered_map<std::uint32_t, std::vector<Consumer>> consumers;
+  std::vector<GlobalRef> owner_container;  ///< graph id -> container (directory).
+  GlobalRef barrier;
+};
+
+inline constexpr std::uint32_t kContainerType = 0xE43Du;
+
+Ids register_em3d(MethodRegistry& reg, const Params& params, std::size_t nodes);
+
+struct World {
+  Params params;
+  std::vector<GlobalRef> containers;
+  std::vector<NodeId> owner;  ///< graph id -> machine node.
+  GlobalRef barrier;
+  std::size_t local_edges = 0;
+  std::size_t remote_edges = 0;
+};
+World build(Machine& machine, const Ids& ids, const Params& params);
+
+/// Runs params.iters iterations with the chosen version on every node driver.
+bool run(Machine& machine, const Ids& ids, World& world, Version version);
+
+/// Reads all node values back by graph id.
+std::vector<double> extract(Machine& machine, const World& world);
+
+/// Serial reference over the same (deterministic) graph.
+std::vector<double> reference(const Params& params, std::size_t machine_nodes);
+
+}  // namespace concert::em3d

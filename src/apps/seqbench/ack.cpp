@@ -1,0 +1,88 @@
+// ack — Ackermann's function: two *dependent* sub-invocations (the second
+// call's argument is the first call's future), exercising resume points whose
+// spawns consume earlier futures.
+#include "apps/seqbench/seqbench_internal.hpp"
+
+namespace concert::seqbench {
+
+std::int64_t ack_c(std::int64_t m, std::int64_t n) {
+  if (m == 0) return n + 1;
+  if (n == 0) return ack_c(m - 1, 1);
+  return ack_c(m - 1, ack_c(m, n - 1));
+}
+
+namespace detail {
+
+namespace {
+
+// Frame layout. ctx.args = {m, n}.
+constexpr SlotId kInner = 0;  // ack(m, n-1)  (or the constant 1 when n == 0)
+constexpr SlotId kOuter = 1;  // ack(m-1, inner)
+
+Context* ack_seq(Node& nd, Value* ret, const CallerInfo& ci, GlobalRef self, const Value* args,
+                 std::size_t nargs) {
+  const std::int64_t m = args[0].as_i64(), n = args[1].as_i64();
+  if (m == 0) {
+    *ret = Value(n + 1);
+    return nullptr;
+  }
+  Frame f(nd, g_ack, self, ci, args, nargs);
+  Value inner{std::int64_t{1}};
+  if (n > 0) {
+    if (!f.call(g_ack, self, {Value(m), Value(n - 1)}, kInner, &inner)) {
+      return f.fallback(1, {});
+    }
+  }
+  Value outer;
+  if (!f.call(g_ack, self, {Value(m - 1), inner}, kOuter, &outer)) {
+    return f.fallback(2, {});
+  }
+  *ret = outer;
+  return nullptr;
+}
+
+void ack_par(Node& nd, Context& ctx) {
+  ParFrame f(nd, ctx);
+  const std::int64_t m = ctx.args[0].as_i64(), n = ctx.args[1].as_i64();
+  switch (ctx.pc) {
+    case 0:
+      if (m == 0) {
+        f.complete(Value(n + 1));
+        return;
+      }
+      if (n == 0) {
+        f.save(kInner, Value(std::int64_t{1}));
+      } else {
+        f.spawn(g_ack, ctx.self, {Value(m), Value(n - 1)}, kInner);
+      }
+      if (!f.touch(1)) return;
+      [[fallthrough]];
+    case 1:
+      f.spawn(g_ack, ctx.self, {Value(m - 1), f.get(kInner)}, kOuter);
+      if (!f.touch(2)) return;
+      [[fallthrough]];
+    case 2:
+      f.complete(f.get(kOuter));
+      return;
+    default:
+      CONCERT_UNREACHABLE("ack_par bad pc");
+  }
+}
+
+}  // namespace
+
+MethodId register_ack(MethodRegistry& reg, bool distributed) {
+  MethodDecl d;
+  d.name = "ack";
+  d.seq = ack_seq;
+  d.par = ack_par;
+  d.frame_slots = 2;
+  d.arg_count = 2;
+  d.blocks_locally = distributed;
+  g_ack = reg.declare(std::move(d));
+  reg.add_callee(g_ack, g_ack);
+  return g_ack;
+}
+
+}  // namespace detail
+}  // namespace concert::seqbench

@@ -1,0 +1,73 @@
+// fib — the canonical fine-grained recursion. Two sub-invocations whose
+// futures are touched together (paper Fig. 4's single multi-future touch).
+#include "apps/seqbench/seqbench_internal.hpp"
+
+namespace concert::seqbench {
+
+std::int64_t fib_c(std::int64_t n) { return n < 2 ? n : fib_c(n - 1) + fib_c(n - 2); }
+
+namespace detail {
+
+namespace {
+
+// Frame layout. ctx.args[0] = n (arguments persist in the context).
+constexpr SlotId kA = 0;  // fib(n-1)
+constexpr SlotId kB = 1;  // fib(n-2)
+
+/// Sequential (stack) version. Resume points align with fib_par's pc values.
+Context* fib_seq(Node& nd, Value* ret, const CallerInfo& ci, GlobalRef self, const Value* args,
+                 std::size_t nargs) {
+  const std::int64_t n = args[0].as_i64();
+  if (n < 2) {
+    *ret = Value(n);
+    return nullptr;
+  }
+  Frame f(nd, g_fib, self, ci, args, nargs);
+  Value a, b;
+  if (!f.call(g_fib, self, {Value(n - 1)}, kA, &a)) return f.fallback(1, {});
+  if (!f.call(g_fib, self, {Value(n - 2)}, kB, &b)) return f.fallback(2, {{kA, a}});
+  *ret = Value(a.as_i64() + b.as_i64());
+  return nullptr;
+}
+
+/// Parallel (heap) version.
+void fib_par(Node& nd, Context& ctx) {
+  ParFrame f(nd, ctx);
+  const std::int64_t n = ctx.args[0].as_i64();
+  switch (ctx.pc) {
+    case 0:
+      if (n < 2) {
+        f.complete(Value(n));
+        return;
+      }
+      f.spawn(g_fib, ctx.self, {Value(n - 1)}, kA);
+      [[fallthrough]];
+    case 1:
+      f.spawn(g_fib, ctx.self, {Value(n - 2)}, kB);
+      if (!f.touch(2)) return;
+      [[fallthrough]];
+    case 2:
+      f.complete(Value(f.get(kA).as_i64() + f.get(kB).as_i64()));
+      return;
+    default:
+      CONCERT_UNREACHABLE("fib_par bad pc");
+  }
+}
+
+}  // namespace
+
+MethodId register_fib(MethodRegistry& reg, bool distributed) {
+  MethodDecl d;
+  d.name = "fib";
+  d.seq = fib_seq;
+  d.par = fib_par;
+  d.frame_slots = 2;
+  d.arg_count = 1;
+  d.blocks_locally = distributed;
+  g_fib = reg.declare(std::move(d));
+  reg.add_callee(g_fib, g_fib);
+  return g_fib;
+}
+
+}  // namespace detail
+}  // namespace concert::seqbench

@@ -1,0 +1,155 @@
+// nqueens — dynamic fan-out: one sub-invocation per feasible column, all
+// touched together. Exercises variable-width frames and mid-loop unwinding
+// (the fallback must remember how far the enumeration got).
+#include "apps/seqbench/seqbench_internal.hpp"
+
+namespace concert::seqbench {
+
+namespace {
+
+std::int64_t nqueens_rec(int n, std::uint64_t cols, std::uint64_t d1, std::uint64_t d2) {
+  const std::uint64_t mask = (1ull << n) - 1;
+  if (cols == mask) return 1;
+  std::int64_t count = 0;
+  std::uint64_t avail = mask & ~(cols | d1 | d2);
+  while (avail != 0) {
+    const std::uint64_t bit = avail & (0 - avail);
+    avail ^= bit;
+    count += nqueens_rec(n, cols | bit, ((d1 | bit) << 1) & mask, (d2 | bit) >> 1);
+  }
+  return count;
+}
+
+}  // namespace
+
+std::int64_t nqueens_c(int n) { return nqueens_rec(n, 0, 0, 0); }
+
+namespace detail {
+
+namespace {
+
+// Frame layout. ctx.args = {n, cols, d1, d2} (bitboards as u64 Values).
+constexpr SlotId kSum = 0;        // solutions from children completed before a fallback
+constexpr SlotId kSumFrom = 1;    // first child index whose result lives in a slot
+constexpr SlotId kSpawnFrom = 2;  // first child index the parallel version must still spawn
+constexpr SlotId kCount = 3;      // total feasible children this level
+constexpr SlotId kChild = 4;      // children results: kChild + index
+
+struct Board {
+  int n;
+  std::uint64_t cols, d1, d2, mask;
+};
+
+Board unpack(const Value* args) {
+  Board b;
+  b.n = static_cast<int>(args[0].as_i64());
+  b.cols = args[1].as_u64();
+  b.d1 = args[2].as_u64();
+  b.d2 = args[3].as_u64();
+  b.mask = (1ull << b.n) - 1;
+  return b;
+}
+
+void child_args_store(const Board& b, std::uint64_t bit, Value out[4]) {
+  out[0] = Value(static_cast<std::int64_t>(b.n));
+  out[1] = Value::u64(b.cols | bit);
+  out[2] = Value::u64(((b.d1 | bit) << 1) & b.mask);
+  out[3] = Value::u64((b.d2 | bit) >> 1);
+}
+
+Context* nqueens_seq(Node& nd, Value* ret, const CallerInfo& ci, GlobalRef self,
+                     const Value* args, std::size_t nargs) {
+  const Board b = unpack(args);
+  if (b.cols == b.mask) {
+    *ret = Value(std::int64_t{1});
+    return nullptr;
+  }
+  Frame f(nd, g_nqueens, self, ci, args, nargs);
+  std::int64_t sum = 0;
+  int idx = 0;
+  std::uint64_t avail = b.mask & ~(b.cols | b.d1 | b.d2);
+  while (avail != 0) {
+    const std::uint64_t bit = avail & (0 - avail);
+    avail ^= bit;
+    Value v;
+    Value ca[4];
+    child_args_store(b, bit, ca);
+    if (!f.call(g_nqueens, self, {ca[0], ca[1], ca[2], ca[3]},
+                static_cast<SlotId>(kChild + idx), &v)) {
+      // Children [0, idx) summed into `sum`; child idx's value will arrive in
+      // its slot; children > idx have not been spawned yet.
+      return f.fallback(1, {{kSum, Value(sum)},
+                            {kSumFrom, Value(std::int64_t{idx})},
+                            {kSpawnFrom, Value(std::int64_t{idx + 1})}});
+    }
+    sum += v.as_i64();
+    ++idx;
+  }
+  *ret = Value(sum);
+  return nullptr;
+}
+
+void nqueens_par(Node& nd, Context& ctx) {
+  ParFrame f(nd, ctx);
+  const Board b = unpack(ctx.args.data());
+  switch (ctx.pc) {
+    case 0:
+      if (b.cols == b.mask) {
+        f.complete(Value(std::int64_t{1}));
+        return;
+      }
+      f.save(kSum, Value(std::int64_t{0}));
+      f.save(kSumFrom, Value(std::int64_t{0}));
+      f.save(kSpawnFrom, Value(std::int64_t{0}));
+      [[fallthrough]];
+    case 1: {
+      const std::int64_t spawn_from = f.get(kSpawnFrom).as_i64();
+      int idx = 0;
+      std::uint64_t avail = b.mask & ~(b.cols | b.d1 | b.d2);
+      while (avail != 0) {
+        const std::uint64_t bit = avail & (0 - avail);
+        avail ^= bit;
+        if (idx >= spawn_from) {
+          Value ca[4];
+          child_args_store(b, bit, ca);
+          f.spawn(g_nqueens, ctx.self, {ca[0], ca[1], ca[2], ca[3]},
+                  static_cast<SlotId>(kChild + idx));
+        }
+        ++idx;
+      }
+      f.save(kCount, Value(std::int64_t{idx}));
+      if (!f.touch(2)) return;
+      [[fallthrough]];
+    }
+    case 2: {
+      std::int64_t sum = f.get(kSum).as_i64();
+      const std::int64_t from = f.get(kSumFrom).as_i64();
+      const std::int64_t count = f.get(kCount).as_i64();
+      for (std::int64_t j = from; j < count; ++j) {
+        sum += f.get(static_cast<SlotId>(kChild + j)).as_i64();
+      }
+      f.complete(Value(sum));
+      return;
+    }
+    default:
+      CONCERT_UNREACHABLE("nqueens_par bad pc");
+  }
+}
+
+}  // namespace
+
+MethodId register_nqueens(MethodRegistry& reg, bool distributed) {
+  MethodDecl d;
+  d.name = "nqueens";
+  d.seq = nqueens_seq;
+  d.par = nqueens_par;
+  d.frame_slots = static_cast<std::uint16_t>(kChild + kMaxQueens);
+  d.arg_count = 4;
+  d.blocks_locally = distributed;
+  g_nqueens = reg.declare(std::move(d));
+  reg.add_callee(g_nqueens, g_nqueens);
+  return g_nqueens;
+}
+
+}  // namespace detail
+}  // namespace concert::seqbench

@@ -1,0 +1,156 @@
+// qsort — divide & conquer over a node-local array object. The `partition`
+// helper is provably Non-blocking, so the analysis gives it the plain-C-call
+// schema even in the distributed compile: an entire non-blocking subgraph
+// executes with no model overhead (paper Sec. 3.2.1).
+#include <algorithm>
+
+#include "apps/seqbench/seqbench_internal.hpp"
+
+namespace concert::seqbench {
+
+namespace {
+
+std::int64_t partition_range(std::vector<std::int64_t>& v, std::int64_t lo, std::int64_t hi) {
+  // Median-of-three Lomuto: deterministic and robust against sorted inputs.
+  const std::int64_t mid = lo + (hi - lo) / 2;
+  if (v[mid] < v[lo]) std::swap(v[mid], v[lo]);
+  if (v[hi - 1] < v[lo]) std::swap(v[hi - 1], v[lo]);
+  if (v[hi - 1] < v[mid]) std::swap(v[hi - 1], v[mid]);
+  std::swap(v[mid], v[hi - 1]);
+  const std::int64_t pivot = v[hi - 1];
+  std::int64_t store = lo;
+  for (std::int64_t i = lo; i < hi - 1; ++i) {
+    if (v[i] < pivot) std::swap(v[i], v[store++]);
+  }
+  std::swap(v[store], v[hi - 1]);
+  return store;
+}
+
+std::int64_t qsort_rec(std::vector<std::int64_t>& v, std::int64_t lo, std::int64_t hi) {
+  if (hi - lo <= 1) return hi - lo;
+  const std::int64_t p = partition_range(v, lo, hi);
+  return qsort_rec(v, lo, p) + qsort_rec(v, p + 1, hi) + 1;
+}
+
+}  // namespace
+
+std::int64_t qsort_c(std::vector<std::int64_t>& data) {
+  return qsort_rec(data, 0, static_cast<std::int64_t>(data.size()));
+}
+
+GlobalRef make_qsort_array(Machine& machine, NodeId home, std::size_t count, std::uint64_t seed) {
+  auto [ref, arr] = machine.node(home).objects().create<IntArray>(kIntArrayType);
+  arr->values.resize(count);
+  SplitMix64 rng(seed);
+  for (auto& x : arr->values) x = static_cast<std::int64_t>(rng.uniform(1u << 30));
+  return ref;
+}
+
+const std::vector<std::int64_t>& array_values(Machine& machine, GlobalRef ref) {
+  return machine.node(ref.node).objects().get<IntArray>(ref).values;
+}
+
+namespace detail {
+
+namespace {
+
+// Frame layout. ctx.args = {lo, hi}; self = the IntArray object.
+constexpr SlotId kP = 0;  // pivot index from partition
+constexpr SlotId kL = 1;  // left recursion element count
+constexpr SlotId kR = 2;  // right recursion element count
+
+Context* partition_seq(Node& nd, Value* ret, const CallerInfo& ci, GlobalRef self,
+                       const Value* args, std::size_t nargs) {
+  (void)ci;
+  (void)nargs;
+  auto& arr = nd.objects().get<IntArray>(self);
+  *ret = Value(partition_range(arr.values, args[0].as_i64(), args[1].as_i64()));
+  return nullptr;
+}
+
+void partition_par(Node& nd, Context& ctx) {
+  auto& arr = nd.objects().get<IntArray>(ctx.self);
+  ParFrame f(nd, ctx);
+  f.complete(Value(partition_range(arr.values, ctx.args[0].as_i64(), ctx.args[1].as_i64())));
+}
+
+Context* qsort_seq(Node& nd, Value* ret, const CallerInfo& ci, GlobalRef self, const Value* args,
+                   std::size_t nargs) {
+  const std::int64_t lo = args[0].as_i64(), hi = args[1].as_i64();
+  if (hi - lo <= 1) {
+    *ret = Value(hi - lo);
+    return nullptr;
+  }
+  Frame f(nd, g_qsort, self, ci, args, nargs);
+  Value pv, l, r;
+  if (!f.call(g_partition, self, {Value(lo), Value(hi)}, kP, &pv)) {
+    return f.fallback(1, {});
+  }
+  const std::int64_t p = pv.as_i64();
+  if (!f.call(g_qsort, self, {Value(lo), Value(p)}, kL, &l)) {
+    return f.fallback(2, {{kP, pv}});
+  }
+  if (!f.call(g_qsort, self, {Value(p + 1), Value(hi)}, kR, &r)) {
+    return f.fallback(3, {{kL, l}});
+  }
+  *ret = Value(l.as_i64() + r.as_i64() + 1);
+  return nullptr;
+}
+
+void qsort_par(Node& nd, Context& ctx) {
+  ParFrame f(nd, ctx);
+  const std::int64_t lo = ctx.args[0].as_i64(), hi = ctx.args[1].as_i64();
+  switch (ctx.pc) {
+    case 0:
+      if (hi - lo <= 1) {
+        f.complete(Value(hi - lo));
+        return;
+      }
+      f.spawn(g_partition, ctx.self, {Value(lo), Value(hi)}, kP);
+      if (!f.touch(1)) return;
+      [[fallthrough]];
+    case 1:
+      f.spawn(g_qsort, ctx.self, {Value(lo), f.get(kP)}, kL);
+      [[fallthrough]];
+    case 2:
+      f.spawn(g_qsort, ctx.self, {Value(f.get(kP).as_i64() + 1), Value(hi)}, kR);
+      if (!f.touch(3)) return;
+      [[fallthrough]];
+    case 3:
+      f.complete(Value(f.get(kL).as_i64() + f.get(kR).as_i64() + 1));
+      return;
+    default:
+      CONCERT_UNREACHABLE("qsort_par bad pc");
+  }
+}
+
+}  // namespace
+
+void register_qsort(MethodRegistry& reg, bool distributed, MethodId* qsort_id,
+                    MethodId* partition_id) {
+  MethodDecl part;
+  part.name = "qsort.partition";
+  part.seq = partition_seq;
+  part.par = partition_par;
+  part.frame_slots = 0;
+  part.arg_count = 2;
+  part.blocks_locally = false;  // provably non-blocking, even distributed
+  g_partition = reg.declare(std::move(part));
+
+  MethodDecl d;
+  d.name = "qsort";
+  d.seq = qsort_seq;
+  d.par = qsort_par;
+  d.frame_slots = 3;
+  d.arg_count = 2;
+  d.blocks_locally = distributed;
+  g_qsort = reg.declare(std::move(d));
+  reg.add_callee(g_qsort, g_partition);
+  reg.add_callee(g_qsort, g_qsort);
+
+  *qsort_id = g_qsort;
+  *partition_id = g_partition;
+}
+
+}  // namespace detail
+}  // namespace concert::seqbench

@@ -1,0 +1,30 @@
+#include "apps/seqbench/seqbench.hpp"
+
+#include "apps/seqbench/seqbench_internal.hpp"
+
+namespace concert::seqbench {
+
+namespace detail {
+MethodId g_fib = kInvalidMethod;
+MethodId g_tak = kInvalidMethod;
+MethodId g_nqueens = kInvalidMethod;
+MethodId g_qsort = kInvalidMethod;
+MethodId g_partition = kInvalidMethod;
+MethodId g_chain = kInvalidMethod;
+MethodId g_ack = kInvalidMethod;
+MethodId g_cheby = kInvalidMethod;
+}  // namespace detail
+
+Ids register_seqbench(MethodRegistry& reg, bool distributed) {
+  Ids ids;
+  ids.fib = detail::register_fib(reg, distributed);
+  ids.tak = detail::register_tak(reg, distributed);
+  ids.nqueens = detail::register_nqueens(reg, distributed);
+  detail::register_qsort(reg, distributed, &ids.qsort, &ids.partition);
+  ids.chain = detail::register_chain(reg);
+  ids.ack = detail::register_ack(reg, distributed);
+  ids.cheby = detail::register_cheby(reg, distributed);
+  return ids;
+}
+
+}  // namespace concert::seqbench

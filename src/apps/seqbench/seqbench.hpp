@@ -1,0 +1,81 @@
+// The function-call-intensive benchmark suite (the paper's Table 3).
+//
+// Five fine-grained programs, each written exactly the way the Concert
+// compiler would emit them — a sequential stack version per schema plus a
+// parallel heap state-machine version with aligned resume points:
+//
+//   * fib       — binary recursion, two futures touched at once.
+//   * tak       — Takeuchi: three parallel calls + a dependent tail call.
+//   * nqueens   — dynamic fan-out (one future per feasible column).
+//   * qsort     — divide & conquer over a node-local array, with a provably
+//                 Non-blocking `partition` helper (an NB subgraph runs with
+//                 zero overhead, paper Sec. 3.2.1).
+//   * chain     — a continuation-forwarding chain: each link forwards its
+//                 reply obligation to the next; the base link answers the
+//                 original caller directly (paper Sec. 3.2.3).
+//   * ack       — Ackermann: two *dependent* sub-invocations.
+//   * cheby     — Chebyshev recurrence: fib-shaped over double futures.
+//
+// Each program also has a plain-C++ reference (`*_c`) — the paper's "C
+// program" column — used both for Table 3 and for correctness oracles.
+//
+// Registration comes in two flavors mirroring what the compiler's global
+// analysis would conclude:
+//   * local compile (distributed=false): nothing can block; fib/tak/nqueens/
+//     qsort/partition analyze to Non-blocking (chain stays CP — it forwards).
+//   * distributed compile (distributed=true): targets may be remote, so the
+//     recursive programs analyze to May-block. Use this flavor on multi-node
+//     machines and for blocking-injection tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "machine/machine.hpp"
+
+namespace concert::seqbench {
+
+struct Ids {
+  MethodId fib = kInvalidMethod;
+  MethodId tak = kInvalidMethod;
+  MethodId nqueens = kInvalidMethod;
+  MethodId qsort = kInvalidMethod;
+  MethodId partition = kInvalidMethod;
+  MethodId chain = kInvalidMethod;
+  MethodId ack = kInvalidMethod;
+  MethodId cheby = kInvalidMethod;
+};
+
+/// Registers all seven programs. The registry must not be finalized yet.
+/// NOTE: method ids are stored in translation-unit globals consumed by the
+/// generated code, so at most one registry layout may be *in use* at a time
+/// (create machines sequentially; re-register for each).
+Ids register_seqbench(MethodRegistry& reg, bool distributed);
+
+/// Maximum board size the nqueens frame layout supports.
+inline constexpr int kMaxQueens = 13;
+
+// --- qsort workload ---
+struct IntArray {
+  std::vector<std::int64_t> values;
+};
+inline constexpr std::uint32_t kIntArrayType = 0xA77Au;
+
+/// Creates a shuffled array object on `home`.
+GlobalRef make_qsort_array(Machine& machine, NodeId home, std::size_t count, std::uint64_t seed);
+
+/// Reads the array back (tests).
+const std::vector<std::int64_t>& array_values(Machine& machine, GlobalRef ref);
+
+// --- plain C++ references (the paper's "C program" column) ---
+std::int64_t fib_c(std::int64_t n);
+std::int64_t tak_c(std::int64_t x, std::int64_t y, std::int64_t z);
+std::int64_t nqueens_c(int n);
+/// Sorts in place, returns the element count (same value the method returns).
+std::int64_t qsort_c(std::vector<std::int64_t>& data);
+std::int64_t chain_c(std::int64_t depth);
+std::int64_t ack_c(std::int64_t m, std::int64_t n);
+double cheby_c(std::int64_t n, double x);
+
+}  // namespace concert::seqbench

@@ -1,0 +1,30 @@
+// Internal wiring for the seqbench suite: per-program registration hooks and
+// the method-id globals the generated code reads. Not part of the public API.
+#pragma once
+
+#include "apps/seqbench/seqbench.hpp"
+#include "core/invoke.hpp"
+#include "core/wrapper.hpp"
+
+namespace concert::seqbench::detail {
+
+// Method ids of the *current* registry layout (see the note in seqbench.hpp).
+extern MethodId g_fib;
+extern MethodId g_tak;
+extern MethodId g_nqueens;
+extern MethodId g_qsort;
+extern MethodId g_partition;
+extern MethodId g_chain;
+extern MethodId g_ack;
+extern MethodId g_cheby;
+
+MethodId register_fib(MethodRegistry& reg, bool distributed);
+MethodId register_tak(MethodRegistry& reg, bool distributed);
+MethodId register_nqueens(MethodRegistry& reg, bool distributed);
+void register_qsort(MethodRegistry& reg, bool distributed, MethodId* qsort_id,
+                    MethodId* partition_id);
+MethodId register_chain(MethodRegistry& reg);
+MethodId register_ack(MethodRegistry& reg, bool distributed);
+MethodId register_cheby(MethodRegistry& reg, bool distributed);
+
+}  // namespace concert::seqbench::detail

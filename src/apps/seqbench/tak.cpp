@@ -1,0 +1,94 @@
+// tak — Takeuchi's function: three independent sub-invocations touched at
+// once, followed by a dependent fourth call on their results.
+#include "apps/seqbench/seqbench_internal.hpp"
+
+namespace concert::seqbench {
+
+std::int64_t tak_c(std::int64_t x, std::int64_t y, std::int64_t z) {
+  if (!(y < x)) return z;
+  return tak_c(tak_c(x - 1, y, z), tak_c(y - 1, z, x), tak_c(z - 1, x, y));
+}
+
+namespace detail {
+
+namespace {
+
+// Frame layout. ctx.args = {x, y, z}.
+constexpr SlotId kA = 0;  // tak(x-1, y, z)
+constexpr SlotId kB = 1;  // tak(y-1, z, x)
+constexpr SlotId kC = 2;  // tak(z-1, x, y)
+constexpr SlotId kR = 3;  // tak(a, b, c)
+
+Context* tak_seq(Node& nd, Value* ret, const CallerInfo& ci, GlobalRef self, const Value* args,
+                 std::size_t nargs) {
+  const std::int64_t x = args[0].as_i64(), y = args[1].as_i64(), z = args[2].as_i64();
+  if (!(y < x)) {
+    *ret = Value(z);
+    return nullptr;
+  }
+  Frame f(nd, g_tak, self, ci, args, nargs);
+  Value a, b, c, r;
+  if (!f.call(g_tak, self, {Value(x - 1), Value(y), Value(z)}, kA, &a)) {
+    return f.fallback(1, {});
+  }
+  if (!f.call(g_tak, self, {Value(y - 1), Value(z), Value(x)}, kB, &b)) {
+    return f.fallback(2, {{kA, a}});
+  }
+  if (!f.call(g_tak, self, {Value(z - 1), Value(x), Value(y)}, kC, &c)) {
+    return f.fallback(3, {{kA, a}, {kB, b}});
+  }
+  if (!f.call(g_tak, self, {a, b, c}, kR, &r)) {
+    return f.fallback(4, {});
+  }
+  *ret = r;
+  return nullptr;
+}
+
+void tak_par(Node& nd, Context& ctx) {
+  ParFrame f(nd, ctx);
+  const std::int64_t x = ctx.args[0].as_i64(), y = ctx.args[1].as_i64(),
+                     z = ctx.args[2].as_i64();
+  switch (ctx.pc) {
+    case 0:
+      if (!(y < x)) {
+        f.complete(Value(z));
+        return;
+      }
+      f.spawn(g_tak, ctx.self, {Value(x - 1), Value(y), Value(z)}, kA);
+      [[fallthrough]];
+    case 1:
+      f.spawn(g_tak, ctx.self, {Value(y - 1), Value(z), Value(x)}, kB);
+      [[fallthrough]];
+    case 2:
+      f.spawn(g_tak, ctx.self, {Value(z - 1), Value(x), Value(y)}, kC);
+      if (!f.touch(3)) return;
+      [[fallthrough]];
+    case 3:
+      f.spawn(g_tak, ctx.self, {f.get(kA), f.get(kB), f.get(kC)}, kR);
+      if (!f.touch(4)) return;
+      [[fallthrough]];
+    case 4:
+      f.complete(f.get(kR));
+      return;
+    default:
+      CONCERT_UNREACHABLE("tak_par bad pc");
+  }
+}
+
+}  // namespace
+
+MethodId register_tak(MethodRegistry& reg, bool distributed) {
+  MethodDecl d;
+  d.name = "tak";
+  d.seq = tak_seq;
+  d.par = tak_par;
+  d.frame_slots = 4;
+  d.arg_count = 3;
+  d.blocks_locally = distributed;
+  g_tak = reg.declare(std::move(d));
+  reg.add_callee(g_tak, g_tak);
+  return g_tak;
+}
+
+}  // namespace detail
+}  // namespace concert::seqbench

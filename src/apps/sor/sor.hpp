@@ -1,0 +1,97 @@
+// SOR — the regular parallel kernel (paper Sec. 4.3.1, Table 4, Fig. 9).
+//
+// A 5-point-stencil relaxation over an n x n grid, two half-iterations per
+// step (compute new values, then commit them), grid distributed block-cyclic
+// over a p x p node grid. Every grid point is an object; every stencil read
+// and every cell update is a method invocation — the fine-grained programming
+// model's natural rendering. The hybrid runtime then rediscovers the block
+// structure at runtime: interior cells complete on the stack, and heap
+// contexts appear only on tile perimeters (Fig. 9), which the stats expose.
+//
+// Methods:
+//   get_value(cell)    NB   — current value of a cell.
+//   compute_cell(cell) MB   — stencil over the four neighbors (may be remote).
+//   update_cell(cell)  NB   — commit next -> value.
+//   sor_driver(node)   MB   — per-node iteration driver: spawn computes,
+//                             barrier, spawn updates, barrier, repeat.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/barrier.hpp"
+#include "core/tree_barrier.hpp"
+#include "core/registry.hpp"
+#include "machine/machine.hpp"
+#include "objects/distribution.hpp"
+
+namespace concert::sor {
+
+struct Params {
+  std::size_t n = 64;      ///< Grid edge length.
+  std::size_t pgrid = 2;   ///< Node-grid edge (pgrid*pgrid nodes).
+  std::size_t block = 8;   ///< Block-cyclic tile edge.
+  int iters = 4;           ///< Full iterations (each = two half-iterations).
+  /// Synchronize half-iterations through a fanout-2 combining tree instead of
+  /// the flat barrier (relieves node 0 at large machine sizes).
+  bool tree_barrier = false;
+
+  std::size_t nodes() const { return pgrid * pgrid; }
+  BlockCyclic2D layout() const { return BlockCyclic2D{n, pgrid, block}; }
+};
+
+struct Ids {
+  MethodId get_value = kInvalidMethod;
+  MethodId compute_cell = kInvalidMethod;
+  MethodId update_cell = kInvalidMethod;
+  MethodId driver = kInvalidMethod;
+  BarrierMethods barrier;
+  TreeBarrierMethods tree;
+};
+
+/// One grid point.
+struct Cell {
+  double value = 0.0;
+  double next = 0.0;
+  GlobalRef nb[4];  ///< N, S, W, E neighbors (invalid on the grid boundary).
+  bool interior = false;
+};
+
+/// Per-node driver state: which cells this node owns.
+struct NodeDriver {
+  std::vector<GlobalRef> interior_cells;
+  GlobalRef barrier;          ///< flat barrier, or this node's tree node.
+  MethodId arrive = kInvalidMethod;
+};
+
+inline constexpr std::uint32_t kCellType = 0x5072u;
+inline constexpr std::uint32_t kDriverType = 0xD417u;
+
+/// Registers the SOR methods sized for `params`. Must precede finalize().
+Ids register_sor(MethodRegistry& reg, const Params& params);
+
+/// Builds the distributed grid and per-node drivers on `machine` (which must
+/// have params.nodes() nodes). Returns the driver object refs (one per node).
+struct World {
+  Params params;
+  std::vector<GlobalRef> cells;    ///< Directory: (i*n+j) -> cell ref.
+  std::vector<GlobalRef> drivers;  ///< One per node.
+  GlobalRef barrier;
+};
+World build(Machine& machine, const Ids& ids, const Params& params);
+
+/// Runs `params.iters` iterations by spawning every node's driver and
+/// running to quiescence. Returns false if any driver failed to complete.
+bool run(Machine& machine, const Ids& ids, World& world);
+
+/// Reads the full grid back (row-major), for verification.
+std::vector<double> extract(Machine& machine, const World& world);
+
+/// Serial reference: same initialization, same update rule.
+std::vector<double> reference(const Params& params);
+
+/// Initial condition used by both the distributed build and the reference:
+/// top boundary hot (1.0), everything else cold (0.0).
+double initial_value(std::size_t i, std::size_t j, std::size_t n);
+
+}  // namespace concert::sor

@@ -1,0 +1,143 @@
+#include "apps/synth/synth.hpp"
+
+#include "core/invoke.hpp"
+
+namespace concert::synth {
+
+namespace {
+
+MethodId g_generic = kInvalidMethod;
+const Program* g_prog = nullptr;
+const std::vector<GlobalRef>* g_homes = nullptr;
+
+constexpr SlotId kSum = 0;
+constexpr SlotId kSumFrom = 1;
+constexpr SlotId kSpawnFrom = 2;
+constexpr SlotId kChild = 3;
+
+Context* synth_seq(Node& nd, Value* ret, const CallerInfo& ci, GlobalRef self,
+                   const Value* args, std::size_t nargs) {
+  const std::int64_t depth = args[0].as_i64();
+  const auto midx = static_cast<std::uint32_t>(args[1].as_i64());
+  const MethodSpec& spec = g_prog->methods.at(midx);
+  if (depth == 0 || spec.callees.empty()) {
+    *ret = Value(spec.base);
+    return nullptr;
+  }
+  Frame f(nd, g_generic, self, ci, args, nargs);
+  std::int64_t sum = spec.base;
+  for (std::size_t idx = 0; idx < spec.callees.size(); ++idx) {
+    const std::uint32_t c = spec.callees[idx];
+    Value v;
+    if (!f.call(g_generic, (*g_homes)[c], {Value(depth - 1), Value(std::int64_t{c})},
+                static_cast<SlotId>(kChild + idx), &v)) {
+      return f.fallback(1, {{kSum, Value(sum)},
+                            {kSumFrom, Value(static_cast<std::int64_t>(idx))},
+                            {kSpawnFrom, Value(static_cast<std::int64_t>(idx + 1))}});
+    }
+    sum += v.as_i64();
+  }
+  *ret = Value(sum);
+  return nullptr;
+}
+
+void synth_par(Node& nd, Context& ctx) {
+  const std::int64_t depth = ctx.args[0].as_i64();
+  const auto midx = static_cast<std::uint32_t>(ctx.args[1].as_i64());
+  const MethodSpec& spec = g_prog->methods.at(midx);
+  ParFrame f(nd, ctx);
+  switch (ctx.pc) {
+    case 0:
+      if (depth == 0 || spec.callees.empty()) {
+        f.complete(Value(spec.base));
+        return;
+      }
+      f.save(kSum, Value(spec.base));
+      f.save(kSumFrom, Value(std::int64_t{0}));
+      f.save(kSpawnFrom, Value(std::int64_t{0}));
+      [[fallthrough]];
+    case 1: {
+      for (std::size_t idx = static_cast<std::size_t>(f.get(kSpawnFrom).as_i64());
+           idx < spec.callees.size(); ++idx) {
+        const std::uint32_t c = spec.callees[idx];
+        f.spawn(g_generic, (*g_homes)[c], {Value(depth - 1), Value(std::int64_t{c})},
+                static_cast<SlotId>(kChild + idx));
+      }
+      if (!f.touch(2)) return;
+      [[fallthrough]];
+    }
+    case 2: {
+      std::int64_t sum = f.get(kSum).as_i64();
+      for (std::size_t idx = static_cast<std::size_t>(f.get(kSumFrom).as_i64());
+           idx < spec.callees.size(); ++idx) {
+        sum += f.get(static_cast<SlotId>(kChild + idx)).as_i64();
+      }
+      f.complete(Value(sum));
+      return;
+    }
+    default:
+      CONCERT_UNREACHABLE("synth bad pc");
+  }
+}
+
+}  // namespace
+
+Program Program::random(SplitMix64& rng, std::size_t nmethods, std::size_t max_calls) {
+  CONCERT_CHECK(nmethods > 0 && max_calls <= kMaxCalls, "bad synth program shape");
+  Program p;
+  p.methods.resize(nmethods);
+  for (auto& m : p.methods) {
+    m.base = static_cast<std::int64_t>(rng.uniform(1000)) - 500;
+    const std::size_t ncalls = rng.uniform(max_calls + 1);
+    for (std::size_t i = 0; i < ncalls; ++i) {
+      m.callees.push_back(static_cast<std::uint32_t>(rng.uniform(nmethods)));
+    }
+  }
+  return p;
+}
+
+std::int64_t Program::eval(std::uint32_t method, std::int64_t depth) const {
+  const MethodSpec& spec = methods.at(method);
+  std::int64_t sum = spec.base;
+  if (depth > 0) {
+    for (std::uint32_t c : spec.callees) sum += eval(c, depth - 1);
+  }
+  return sum;
+}
+
+Ids register_synth(MethodRegistry& reg, const Program& program) {
+  g_prog = &program;
+  MethodDecl d;
+  d.name = "synth.generic";
+  d.seq = synth_seq;
+  d.par = synth_par;
+  d.frame_slots = static_cast<std::uint16_t>(kChild + kMaxCalls);
+  d.arg_count = 2;
+  d.blocks_locally = true;  // callees live on arbitrary nodes
+  Ids ids;
+  ids.generic = g_generic = reg.declare(d);
+  reg.add_callee(g_generic, g_generic);
+  return ids;
+}
+
+std::vector<GlobalRef> place_objects(Machine& machine, const Program& program,
+                                     SplitMix64& rng) {
+  std::vector<GlobalRef> homes;
+  homes.reserve(program.methods.size());
+  for (std::size_t i = 0; i < program.methods.size(); ++i) {
+    const NodeId nid = static_cast<NodeId>(rng.uniform(machine.node_count()));
+    auto [ref, obj] = machine.node(nid).objects().create<int>(0x5712u, 0);
+    (void)obj;
+    homes.push_back(ref);
+  }
+  return homes;
+}
+
+Value run(Machine& machine, const Ids& ids, const std::vector<GlobalRef>& homes,
+          std::uint32_t method, std::int64_t depth) {
+  g_homes = &homes;
+  return machine.run_main(homes[method].node, ids.generic, homes[method],
+                          {Value(depth), Value(std::int64_t{method})});
+}
+
+}  // namespace concert::synth

@@ -1,0 +1,68 @@
+// Synthetic fine-grained programs: a generator of random call graphs used to
+// fuzz the hybrid execution protocol.
+//
+// A program is a set of methods; method m invoked with a `depth` argument
+// computes
+//
+//     eval(m, depth) = base_m                              if depth == 0
+//                    = base_m + sum_i eval(callee_i, depth-1)   otherwise
+//
+// where the callee list (with possible repetition and self/mutual recursion)
+// is chosen randomly. Each method's "home object" is placed on a random node
+// of the machine, so invocations hop between nodes according to the call
+// graph — a dense mix of local stack execution, remote messages, wrapper
+// execution and fallbacks. The reference value is computed by a trivial
+// recursive evaluator; any divergence anywhere in the protocol (linkage,
+// lazy contexts, replies, unwinding order) changes the result.
+//
+// All methods share one generated seq/par implementation pair driven by a
+// spec table (the callee index travels as the second argument), exactly like
+// compiler-emitted code specialized by a method descriptor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "machine/machine.hpp"
+#include "support/rng.hpp"
+
+namespace concert::synth {
+
+struct MethodSpec {
+  std::int64_t base = 0;
+  std::vector<std::uint32_t> callees;  ///< indices into Program::methods.
+};
+
+struct Program {
+  std::vector<MethodSpec> methods;
+
+  /// Random program: `nmethods` methods with up to `max_calls` call sites
+  /// each; callees uniform (self-recursion and mutual recursion included).
+  static Program random(SplitMix64& rng, std::size_t nmethods, std::size_t max_calls);
+
+  /// Reference semantics.
+  std::int64_t eval(std::uint32_t method, std::int64_t depth) const;
+};
+
+struct Ids {
+  MethodId generic = kInvalidMethod;  ///< the shared generated method
+};
+
+/// Maximum callees per method the generated frame layout supports.
+inline constexpr std::size_t kMaxCalls = 6;
+
+/// Registers the generated implementation for `program`. One synth program
+/// per registry.
+Ids register_synth(MethodRegistry& reg, const Program& program);
+
+/// Places one home object per method on a machine node chosen by `rng`, and
+/// returns the per-method object refs (the directory the generated code uses).
+std::vector<GlobalRef> place_objects(Machine& machine, const Program& program,
+                                     SplitMix64& rng);
+
+/// Runs eval(method, depth) under the machine's configuration.
+Value run(Machine& machine, const Ids& ids, const std::vector<GlobalRef>& homes,
+          std::uint32_t method, std::int64_t depth);
+
+}  // namespace concert::synth

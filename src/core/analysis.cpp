@@ -1,0 +1,76 @@
+#include "core/analysis.hpp"
+
+#include "support/panic.hpp"
+
+namespace concert {
+
+void analyze_schemas(std::vector<MethodInfo>& methods) {
+  const std::size_t n = methods.size();
+  for (auto& m : methods) {
+    m.may_block = m.blocks_locally;
+    m.needs_continuation = m.uses_continuation;
+    for (MethodId c : m.callees) CONCERT_CHECK(c < n, m.name << " calls bad method id " << c);
+  }
+  for (auto& m : methods) {
+    for (MethodId c : m.forwards_to) {
+      CONCERT_CHECK(c < n, m.name << " forwards to bad id " << c);
+      // Forwarding passes the continuation explicitly: the forwarder needs
+      // its caller's info to hand over, and the target receives a
+      // continuation it may manipulate — both ends require the CP interface.
+      m.needs_continuation = true;
+      methods[c].needs_continuation = true;
+    }
+  }
+  // A method that can take its continuation can defer its reply arbitrarily,
+  // so its callers must treat the call as blocking. Seed this before the
+  // fixpoint so it propagates up the call graph.
+  for (auto& m : methods) {
+    if (m.needs_continuation) m.may_block = true;
+  }
+
+  // Least fixpoint; the graph is small (a program's method count), so simple
+  // iteration to convergence is fine and obviously correct.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& m : methods) {
+      if (!m.may_block) {
+        for (MethodId c : m.callees) {
+          if (methods[c].may_block) {
+            m.may_block = true;
+            changed = true;
+            break;
+          }
+        }
+      }
+      // (needs_continuation is not transitive over plain calls: a method that
+      // merely *calls* a CP method builds a fresh CallerInfo at the call
+      // site; only forwarding edges — handled above — propagate the need.)
+    }
+  }
+
+  for (auto& m : methods) {
+    // Forwarding a continuation into a callee only makes sense if the chain
+    // can actually consume it somewhere; a forward into a subgraph that never
+    // uses continuations is treated as a plain call (matches the compiler,
+    // which would never emit the CP convention there).
+    if (m.needs_continuation) {
+      m.schema = Schema::ContinuationPassing;
+    } else if (m.may_block) {
+      m.schema = Schema::MayBlock;
+    } else {
+      m.schema = Schema::NonBlocking;
+    }
+    // Implicit locking releases at activation completion, which for a CP
+    // method may be delegated through its continuation — undecidable at the
+    // call site. The compiler would reject such a class; so do we.
+    CONCERT_CHECK(!(m.locks_self && m.schema == Schema::ContinuationPassing),
+                  m.name << ": implicit locking is not supported on CP methods");
+    CONCERT_CHECK(m.multi_return >= 1 && m.multi_return <= 8,
+                  m.name << ": multi_return out of range");
+    CONCERT_CHECK(!(m.multi_return > 1 && m.schema == Schema::ContinuationPassing),
+                  m.name << ": multiple return values are not supported on CP methods");
+  }
+}
+
+}  // namespace concert

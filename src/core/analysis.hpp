@@ -1,0 +1,30 @@
+// The compiler stand-in: global flow analysis selecting invocation schemas.
+//
+// The Concert compiler "performs a global flow analysis which conservatively
+// determines the blocking and continuation requirements of methods and uses
+// that information to select the appropriate schema" (Sec. 3.2). We implement
+// the same analysis over the declared call graph:
+//
+//   may_block(m)  = m.blocks_locally  OR  any callee may_block
+//   needs_cont(m) = m.uses_continuation OR m forwards its continuation
+//                   (both ends of a forwarding edge require the CP interface)
+//
+// computed as a least fixpoint (the call graph may contain recursion and
+// mutual recursion), then:
+//
+//   schema(m) = CP  if needs_cont(m)
+//             = MB  if may_block(m)
+//             = NB  otherwise
+#pragma once
+
+#include <vector>
+
+#include "core/registry.hpp"
+
+namespace concert {
+
+/// Runs the analysis in place, filling MethodInfo::{may_block,
+/// needs_continuation, schema} for every method.
+void analyze_schemas(std::vector<MethodInfo>& methods);
+
+}  // namespace concert

@@ -1,0 +1,66 @@
+#include "core/barrier.hpp"
+
+#include "core/invoke.hpp"
+
+namespace concert {
+
+namespace {
+
+void barrier_release(Node& nd, BarrierState& b) {
+  const Value v{b.generation};
+  ++b.generation;
+  // Move the waiters out first: replying can re-enter this barrier (a fast
+  // waiter may arrive for the next phase synchronously).
+  std::vector<Continuation> waiters = std::move(b.waiters);
+  b.waiters.clear();
+  for (const Continuation& k : waiters) nd.reply_to(k, v);
+}
+
+/// Sequential (stack) version — Continuation-Passing schema. Always consumes
+/// its continuation, so it always returns the holder context (never a value
+/// through `ret`).
+Context* barrier_arrive_seq(Node& nd, Value* ret, const CallerInfo& ci, GlobalRef self,
+                            const Value* args, std::size_t nargs) {
+  (void)ret;
+  (void)args;
+  (void)nargs;
+  auto& b = nd.objects().get<BarrierState>(self);
+  MaterializedCont mk = materialize_continuation(nd, ci);
+  b.waiters.push_back(mk.cont);
+  if (static_cast<int>(b.waiters.size()) >= b.expected) barrier_release(nd, b);
+  return mk.holder;
+}
+
+/// Parallel (heap) version: the context's return continuation *is* the
+/// arrival's continuation; store it and retire the context.
+void barrier_arrive_par(Node& nd, Context& ctx) {
+  auto& b = nd.objects().get<BarrierState>(ctx.self);
+  const Continuation k = ctx.ret;
+  nd.free_context(ctx);
+  b.waiters.push_back(k);
+  if (static_cast<int>(b.waiters.size()) >= b.expected) barrier_release(nd, b);
+}
+
+}  // namespace
+
+BarrierMethods register_barrier_methods(MethodRegistry& reg) {
+  MethodDecl d;
+  d.name = "barrier.arrive";
+  d.seq = barrier_arrive_seq;
+  d.par = barrier_arrive_par;
+  d.frame_slots = 0;
+  d.arg_count = 0;
+  d.uses_continuation = true;  // the whole point of the barrier
+  BarrierMethods m;
+  m.arrive = reg.declare(std::move(d));
+  return m;
+}
+
+GlobalRef make_barrier(Machine& machine, NodeId home, int expected) {
+  CONCERT_CHECK(expected > 0, "barrier needs a positive arrival count");
+  auto [ref, state] = machine.node(home).objects().create<BarrierState>(kBarrierType, expected);
+  (void)state;
+  return ref;
+}
+
+}  // namespace concert

@@ -1,0 +1,47 @@
+// A user-level barrier built from first-class continuations (paper Sec. 3.3).
+//
+// Arriving at the barrier is a Continuation-Passing method: each arrival
+// *stores its continuation* in the barrier object; the final arrival replies
+// through every stored continuation, releasing all waiters at once. This is
+// exactly the "user defined synchronization structures like barriers" case
+// the paper uses to motivate proxy contexts: an arrival from a remote node
+// runs on the handler stack through a proxy, stores the off-node
+// continuation, and no heap context is ever allocated on the barrier's node.
+//
+// The reply value is the barrier generation (an i64), so phased algorithms
+// can sanity-check which release they observed. Barriers are reusable: the
+// release resets the arrival count and bumps the generation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/continuation.hpp"
+#include "core/registry.hpp"
+#include "machine/machine.hpp"
+
+namespace concert {
+
+struct BarrierState {
+  explicit BarrierState(int expected) : expected(expected) {}
+  int expected;
+  std::int64_t generation = 0;
+  std::vector<Continuation> waiters;
+};
+
+struct BarrierMethods {
+  MethodId arrive = kInvalidMethod;
+};
+
+/// Registers the barrier's method pair (seq CP version + parallel version).
+/// Call once per registry, before finalize().
+BarrierMethods register_barrier_methods(MethodRegistry& reg);
+
+/// Creates a reusable barrier object on `home` expecting `expected` arrivals
+/// per phase. The object is owned by the node.
+GlobalRef make_barrier(Machine& machine, NodeId home, int expected);
+
+/// Object-space type tag for barrier objects.
+inline constexpr std::uint32_t kBarrierType = 0xBA44u;
+
+}  // namespace concert

@@ -1,0 +1,29 @@
+// CallerInfo — the descriptor threaded through Continuation-Passing calls
+// (the paper's `caller_info` parameter, Sec. 3.2.3).
+//
+// It carries exactly what the paper's encoding carries: whether the caller's
+// context has already been created, enough size information to create it
+// lazily if not (we name the caller's method; the registry knows its frame
+// size), where the return-value future lives within that context, and whether
+// the continuation has been forwarded. The paper recovers the continuation by
+// pointer arithmetic on `return_val_ptr`; portable C++ forbids that, so we
+// carry an explicit ContextRef — same information, same protocol.
+#pragma once
+
+#include "core/continuation.hpp"
+#include "core/ids.hpp"
+
+namespace concert {
+
+struct CallerInfo {
+  bool context_exists = false;  ///< Caller's heap context already materialized?
+  bool forwarded = false;       ///< Continuation already crossed a forwarding hop?
+  MethodId caller_method = kInvalidMethod;  ///< Size info for lazy context creation.
+  SlotId return_slot = 0;       ///< Slot of the return future in the caller's context.
+  ContextRef context;           ///< Valid iff context_exists.
+
+  /// For Non-blocking / May-block callees, which don't take caller info.
+  static constexpr CallerInfo none() { return CallerInfo{}; }
+};
+
+}  // namespace concert

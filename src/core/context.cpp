@@ -1,0 +1,57 @@
+#include "core/context.hpp"
+
+namespace concert {
+
+Context& ContextArena::alloc(MethodId method, std::size_t slots) {
+  Context* ctx;
+  if (!freelist_.empty()) {
+    ContextId id = freelist_.back();
+    freelist_.pop_back();
+    ctx = pool_[id].get();
+  } else {
+    auto owned = std::make_unique<Context>();
+    owned->home = home_;
+    owned->id = static_cast<ContextId>(pool_.size());
+    ctx = owned.get();
+    pool_.push_back(std::move(owned));
+  }
+  CONCERT_CHECK(ctx->status == ContextStatus::Free, "allocating non-free context");
+  ++ctx->gen;
+  ctx->method = method;
+  ctx->pc = 0;
+  ctx->self = kNoObject;
+  ctx->args.clear();
+  ctx->ret = kNoContinuation;
+  ctx->join = 0;
+  ctx->status = ContextStatus::Ready;  // caller decides: enqueue, Waiting, or Proxy
+  ctx->reverted = false;
+  ctx->holds_lock = false;
+  ctx->resize_slots(slots);
+  ++live_;
+  return *ctx;
+}
+
+void ContextArena::free(Context& ctx) {
+  CONCERT_CHECK(ctx.home == home_, "freeing context " << ctx.ref() << " on wrong node " << home_);
+  CONCERT_CHECK(ctx.status != ContextStatus::Free, "double free of context " << ctx.ref());
+  ctx.status = ContextStatus::Free;
+  ctx.args.clear();
+  freelist_.push_back(ctx.id);
+  CONCERT_CHECK(live_ > 0, "arena live-count underflow");
+  --live_;
+}
+
+Context& ContextArena::resolve(const ContextRef& ref) {
+  Context* ctx = try_resolve(ref);
+  CONCERT_CHECK(ctx != nullptr, "stale or foreign context ref " << ref << " on node " << home_);
+  return *ctx;
+}
+
+Context* ContextArena::try_resolve(const ContextRef& ref) {
+  if (ref.node != home_ || ref.id >= pool_.size()) return nullptr;
+  Context* ctx = pool_[ref.id].get();
+  if (ctx->gen != ref.gen || ctx->status == ContextStatus::Free) return nullptr;
+  return ctx;
+}
+
+}  // namespace concert

@@ -1,0 +1,19 @@
+#include "core/continuation.hpp"
+
+#include <ostream>
+
+namespace concert {
+
+std::ostream& operator<<(std::ostream& os, const ContextRef& r) {
+  if (!r.valid()) return os << "ctx(invalid)";
+  return os << "ctx(n" << r.node << "#" << r.id << "g" << r.gen << ")";
+}
+
+std::ostream& operator<<(std::ostream& os, const Continuation& c) {
+  if (!c.valid()) return os << "cont(none)";
+  os << "cont(" << c.target << "[" << c.slot << "]";
+  if (c.forwarded) os << ",fwd";
+  return os << ")";
+}
+
+}  // namespace concert

@@ -1,0 +1,56 @@
+// Continuations: the right to determine (write) a future.
+//
+// A continuation names a future slot inside a heap context on some node.
+// Continuations are first-class in the programming model: they can be
+// forwarded along a call chain (the reply obligation travels with them, like
+// call/cc), passed in messages, and stored in data structures (e.g. the
+// barrier in core/barrier.hpp).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "core/ids.hpp"
+
+namespace concert {
+
+/// A handle to a heap context. `gen` is a generation counter that detects
+/// use-after-free of recycled arena entries (a pure debugging aid the paper's
+/// C runtime did not have; it costs nothing in the cost model).
+struct ContextRef {
+  NodeId node = kInvalidNode;
+  ContextId id = kInvalidContext;
+  std::uint32_t gen = 0;
+
+  constexpr bool valid() const { return node != kInvalidNode; }
+
+  friend constexpr bool operator==(const ContextRef& a, const ContextRef& b) {
+    return a.node == b.node && a.id == b.id && a.gen == b.gen;
+  }
+  friend constexpr bool operator!=(const ContextRef& a, const ContextRef& b) { return !(a == b); }
+};
+
+/// The right to write one future: (context, slot). `forwarded` records that
+/// the continuation has been passed along at least one forwarding hop, which
+/// the CP fallback logic consults (paper Sec. 3.2.3).
+struct Continuation {
+  ContextRef target;
+  SlotId slot = 0;
+  bool forwarded = false;
+
+  constexpr bool valid() const { return target.valid(); }
+
+  /// Wire size for the network cost model.
+  static constexpr std::uint32_t wire_size() { return 16; }
+
+  friend constexpr bool operator==(const Continuation& a, const Continuation& b) {
+    return a.target == b.target && a.slot == b.slot && a.forwarded == b.forwarded;
+  }
+};
+
+inline constexpr Continuation kNoContinuation{};
+
+std::ostream& operator<<(std::ostream& os, const ContextRef& r);
+std::ostream& operator<<(std::ostream& os, const Continuation& c);
+
+}  // namespace concert

@@ -1,0 +1,49 @@
+// Location-independent object references ("global name space").
+//
+// In the paper's programming model, object references hide placement: the
+// runtime performs name translation and locality checks on every invocation.
+// A GlobalRef names an object as (home node, index in that node's
+// ObjectSpace). Whether the object is local is a runtime question — exactly
+// the check the hybrid model uses to decide between the stack fast path and a
+// remote parallel invocation.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+#include "core/ids.hpp"
+
+namespace concert {
+
+/// A global object name: (home node, per-node object index).
+struct GlobalRef {
+  NodeId node = kInvalidNode;
+  std::uint32_t index = 0;
+
+  constexpr bool valid() const { return node != kInvalidNode; }
+
+  friend constexpr bool operator==(const GlobalRef& a, const GlobalRef& b) {
+    return a.node == b.node && a.index == b.index;
+  }
+  friend constexpr bool operator!=(const GlobalRef& a, const GlobalRef& b) { return !(a == b); }
+
+  /// Packs into one word (used in messages and Value).
+  constexpr std::uint64_t pack() const {
+    return (static_cast<std::uint64_t>(node) << 32) | index;
+  }
+  static constexpr GlobalRef unpack(std::uint64_t w) {
+    return GlobalRef{static_cast<NodeId>(w >> 32), static_cast<std::uint32_t>(w)};
+  }
+};
+
+inline constexpr GlobalRef kNoObject{};
+
+}  // namespace concert
+
+template <>
+struct std::hash<concert::GlobalRef> {
+  std::size_t operator()(const concert::GlobalRef& r) const noexcept {
+    return std::hash<std::uint64_t>{}(r.pack() * 0x9e3779b97f4a7c15ull);
+  }
+};

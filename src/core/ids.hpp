@@ -1,0 +1,26 @@
+// Fundamental identifier types shared across the runtime.
+#pragma once
+
+#include <cstdint>
+
+namespace concert {
+
+/// Index of a node (processor) in the multicomputer. Dense, starting at 0.
+using NodeId = std::uint32_t;
+
+/// Index of a registered method in the MethodRegistry.
+using MethodId = std::uint32_t;
+
+/// Index of a heap context within its home node's ContextArena.
+using ContextId = std::uint32_t;
+
+/// Slot index inside a context (futures and saved locals share the slot array,
+/// mirroring the paper's contexts where futures live *inside* the activation
+/// record rather than being separately allocated).
+using SlotId = std::uint16_t;
+
+inline constexpr NodeId kInvalidNode = 0xffffffffu;
+inline constexpr MethodId kInvalidMethod = 0xffffffffu;
+inline constexpr ContextId kInvalidContext = 0xffffffffu;
+
+}  // namespace concert

@@ -1,0 +1,3 @@
+// BlockInjector is header-only; this translation unit compiles the header
+// standalone as part of the library.
+#include "core/inject.hpp"

@@ -1,0 +1,70 @@
+// Blocking injection: deterministic forcing of the fallback paths.
+//
+// On real hardware, stack speculation fails when data is remote or locked.
+// To exercise every unwinding path deterministically — including deep chains
+// of May-block frames and lazy continuation creation — tests and the Table 2
+// benchmark can force "this invocation must block" at chosen call counts or
+// with a seeded probability. Injection has zero cost when disabled and is
+// never charged to the cost model (it stands in for genuinely remote data).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/ids.hpp"
+#include "support/rng.hpp"
+
+namespace concert {
+
+class BlockInjector {
+ public:
+  /// Forces the `nth` invocation (0-based) of method `m` to block.
+  void inject_at(MethodId m, std::uint64_t nth) {
+    scripted_[m].insert(nth);
+    enabled_ = true;
+  }
+
+  /// Every invocation of every method blocks with probability `p`.
+  void set_probability(double p, std::uint64_t seed) {
+    probability_ = p;
+    rng_.seed(seed);
+    enabled_ = p > 0.0 || !scripted_.empty();
+  }
+
+  void reset() {
+    scripted_.clear();
+    counts_.clear();
+    probability_ = 0.0;
+    enabled_ = false;
+  }
+
+  bool enabled() const { return enabled_; }
+
+  /// Consulted by the invocation machinery at each stack-speculation attempt.
+  bool should_block(MethodId m) {
+    if (!enabled_) return false;
+    bool hit = false;
+    auto it = scripted_.find(m);
+    if (it != scripted_.end()) {
+      const std::uint64_t n = counts_[m]++;
+      hit = it->second.count(n) > 0;
+    } else if (probability_ > 0.0) {
+      hit = rng_.chance(probability_);
+    }
+    if (hit) ++triggered_;
+    return hit;
+  }
+
+  std::uint64_t triggered() const { return triggered_; }
+
+ private:
+  bool enabled_ = false;
+  double probability_ = 0.0;
+  SplitMix64 rng_{1};
+  std::unordered_map<MethodId, std::unordered_set<std::uint64_t>> scripted_;
+  std::unordered_map<MethodId, std::uint64_t> counts_;
+  std::uint64_t triggered_ = 0;
+};
+
+}  // namespace concert

@@ -1,0 +1,441 @@
+#include "core/invoke.hpp"
+
+#include <vector>
+
+#include "core/wrapper.hpp"
+#include "machine/machine.hpp"
+
+namespace concert {
+
+void charge_seq_call(Node& nd, Schema callee_schema) {
+  const CostModel& c = nd.costs();
+  switch (callee_schema) {
+    case Schema::NonBlocking: nd.charge(c.c_call + c.nb_call_extra); break;
+    case Schema::MayBlock: nd.charge(c.c_call + c.mb_call_extra); break;
+    case Schema::ContinuationPassing: nd.charge(c.c_call + c.cp_call_extra); break;
+  }
+}
+
+bool acquire_implicit_lock(Node& nd, const MethodInfo& mi, GlobalRef target) {
+  if (!mi.locks_self || !target.valid()) return false;
+  nd.objects().lock(target);
+  nd.charge(nd.costs().lock_check);
+  return true;
+}
+
+void release_implicit_lock(Node& nd, GlobalRef target) {
+  nd.objects().unlock(target);
+  nd.charge(nd.costs().lock_check);
+}
+
+MaterializedCont materialize_continuation(Node& nd, const CallerInfo& ci) {
+  const CostModel& c = nd.costs();
+  if (ci.forwarded) {
+    // Case 1: the continuation was forwarded, so it already exists at the
+    // fixed location of the (necessarily existing, local) holder context.
+    CONCERT_CHECK(ci.context_exists, "forwarded CallerInfo without a context");
+    Context& holder = nd.arena().resolve(ci.context);
+    nd.charge(c.touch);
+    Continuation k = holder.ret;
+    k.forwarded = true;
+    return {k, &holder};
+  }
+  Context* holder;
+  if (ci.context_exists) {
+    // Case 2: the caller's context exists but the continuation does not:
+    // create one for a future at the return slot within that context.
+    holder = &nd.arena().resolve(ci.context);
+  } else {
+    // Case 3: neither exists: lazily create the caller's context from the
+    // size information in CallerInfo, then the continuation.
+    CONCERT_CHECK(ci.caller_method != kInvalidMethod,
+                  "cannot lazily create a context without caller size info");
+    holder = &nd.alloc_context(ci.caller_method);
+    holder->status = ContextStatus::Waiting;  // its owner will adopt + populate it
+  }
+  nd.charge(c.continuation_create);
+  ++nd.stats.continuations_created;
+  // The continuation's future becomes live now (a reply may race in through
+  // it synchronously); the guard keeps the context unrunnable until its owner
+  // has adopted it and saved state (released in Frame::fallback /
+  // ParFrame::spawn after the call returns up the stack).
+  holder->expect(ci.return_slot);
+  nd.charge(c.future_expect);
+  holder->add_guard();
+  return {Continuation{holder->ref(), ci.return_slot, false}, holder};
+}
+
+Context& heap_invoke_local(Node& nd, MethodId callee, GlobalRef target, const Value* args,
+                           std::size_t nargs, Continuation reply_to) {
+  const CostModel& c = nd.costs();
+  ++nd.stats.heap_invokes;
+  Context& ctx = nd.alloc_context(callee);
+  ctx.self = target;
+  ctx.args.assign(args, args + nargs);
+  ctx.ret = reply_to;
+  nd.charge(c.heap_invoke_fixed + c.save_word * ctx.args.size() + c.linkage_install);
+  ctx.status = ContextStatus::Waiting;  // enqueue() flips it to Ready
+  nd.enqueue(ctx);
+  return ctx;
+}
+
+void remote_invoke(Node& nd, MethodId callee, GlobalRef target, const Value* args,
+                   std::size_t nargs, Continuation reply_to) {
+  nd.send(Message::invoke(nd.id(), target.node, callee, target,
+                          std::vector<Value>(args, args + nargs), reply_to));
+}
+
+// ---------------------------------------------------------------------------
+// Frame (caller side of a sequential version)
+// ---------------------------------------------------------------------------
+
+Frame::Frame(Node& nd, MethodId my_method, GlobalRef self, const CallerInfo& my_ci,
+             const Value* args, std::size_t nargs)
+    : nd_(nd), method_(my_method), self_(self), ci_(my_ci), args_(args), nargs_(nargs) {}
+
+Context& Frame::materialize() {
+  if (ctx_ != nullptr) return *ctx_;
+  ctx_ = &nd_.alloc_context(method_);
+  ctx_->self = self_;
+  ctx_->args.assign(args_, args_ + nargs_);
+  nd_.charge(nd_.costs().save_word * nargs_);
+  ctx_->status = ContextStatus::Waiting;
+  ctx_->reverted = true;  // stays in the parallel version from here on
+  ++nd_.stats.fallbacks;
+  return *ctx_;
+}
+
+void Frame::go_parallel(MethodId callee, GlobalRef target, const Value* args,
+                        std::size_t nargs, SlotId slot, std::size_t nret, bool remote) {
+  Context& me = materialize();
+  for (std::size_t i = 0; i < nret; ++i) me.expect(static_cast<SlotId>(slot + i));
+  nd_.charge(nd_.costs().future_expect);
+  const Continuation k{me.ref(), slot, false};
+  // A locally-forwarded (migrated) target resolves to its new home first.
+  target = resolve_forwarding(nd_, target);
+  remote = target.valid() && target.node != nd_.id();
+  if (remote) {
+    remote_invoke(nd_, callee, target, args, nargs, k);
+  } else {
+    heap_invoke_local(nd_, callee, target, args, nargs, k);
+  }
+}
+
+bool Frame::call(MethodId callee, GlobalRef target, const Value* args, std::size_t nargs,
+                 SlotId slot, Value* out) {
+  MethodRegistry& reg = nd_.registry();
+  const Schema schema = reg.effective_schema(callee, nd_.mode());
+  charge_seq_call(nd_, schema);
+
+  const bool is_remote = target.valid() && target.node != nd_.id();
+  if (is_remote) {
+    ++nd_.stats.remote_invokes;
+  } else {
+    ++nd_.stats.local_invokes;
+  }
+
+  const bool runnable_here = nd_.local_and_unlocked(target);
+  const bool injected =
+      runnable_here && nd_.injector().enabled() && nd_.injector().should_block(callee);
+  const MethodInfo& mi = reg.info(callee);
+
+  if (!runnable_here || injected) {
+    go_parallel(callee, target, args, nargs, slot, mi.multi_return, is_remote);
+    return false;
+  }
+
+  // Speculative stack execution.
+  ++nd_.stats.stack_calls;
+  CONCERT_CHECK(mi.variadic ? nargs >= mi.arg_count : nargs == mi.arg_count,
+                "call of " << mi.name << " with " << nargs << " args, wants " << mi.arg_count);
+  CallerInfo ci;
+  if (schema == Schema::ContinuationPassing) {
+    ci.context_exists = ctx_ != nullptr;
+    ci.forwarded = false;
+    ci.caller_method = method_;
+    ci.return_slot = slot;
+    if (ctx_ != nullptr) ci.context = ctx_->ref();
+  }
+  const bool locked_here = acquire_implicit_lock(nd_, mi, target);
+  Context* fbk = mi.seq(nd_, out, ci, target, args, nargs);
+  if (fbk == nullptr) {
+    if (locked_here) release_implicit_lock(nd_, target);
+    ++nd_.stats.stack_completions;
+    return true;
+  }
+  // The callee fell back: its (MB) context inherits the lock until its
+  // parallel version completes. (locks_self is rejected on CP methods.)
+  if (locked_here) fbk->holds_lock = true;
+
+  // Establish the linkage per the callee's schema.
+  switch (schema) {
+    case Schema::NonBlocking:
+      CONCERT_UNREACHABLE("non-blocking callee " + mi.name + " returned a fallback context");
+    case Schema::MayBlock: {
+      // Fig. 6: fbk is the callee's freshly created context; insert the
+      // continuation for its return value(s).
+      Context& me = materialize();
+      for (std::size_t i = 0; i < mi.multi_return; ++i) {
+        me.expect(static_cast<SlotId>(slot + i));
+      }
+      nd_.charge(nd_.costs().future_expect + nd_.costs().linkage_install);
+      fbk->ret = Continuation{me.ref(), slot, false};
+      break;
+    }
+    case Schema::ContinuationPassing: {
+      // Fig. 7: fbk is *our* context (created lazily by the callee if we had
+      // none); the callee already owns its reply continuation, and the return
+      // slot was expected (plus guarded) at materialization time.
+      if (ctx_ == nullptr) {
+        CONCERT_CHECK(fbk->method == method_,
+                      "CP callee materialized a context for method " << fbk->method
+                                                                     << ", expected " << method_);
+        ctx_ = fbk;
+        ctx_->self = self_;
+        ctx_->args.assign(args_, args_ + nargs_);
+        nd_.charge(nd_.costs().save_word * nargs_);
+        ctx_->reverted = true;
+        ++nd_.stats.fallbacks;
+      } else {
+        CONCERT_CHECK(fbk == ctx_, "CP callee returned a foreign context");
+      }
+      have_guard_ = true;  // released once fallback() finishes the unwinding
+      break;
+    }
+  }
+  return false;
+}
+
+Context* Frame::forward(MethodId callee, GlobalRef target, const Value* args,
+                        std::size_t nargs, Value* ret) {
+  MethodRegistry& reg = nd_.registry();
+  const Schema schema = reg.effective_schema(callee, nd_.mode());
+  CONCERT_CHECK(schema == Schema::ContinuationPassing,
+                "forwarding into " << reg.info(callee).name << " which is not CP");
+  charge_seq_call(nd_, schema);
+
+  const bool is_remote = target.valid() && target.node != nd_.id();
+  const bool runnable_here = nd_.local_and_unlocked(target);
+  const bool injected =
+      runnable_here && nd_.injector().enabled() && nd_.injector().should_block(callee);
+
+  if (runnable_here && !injected) {
+    ++nd_.stats.local_invokes;
+    ++nd_.stats.stack_calls;
+    // Local forwarding stays on the stack: pass (ret, ci) through unchanged;
+    // whatever the callee returns is exactly what we must return.
+    const MethodInfo& mi = reg.info(callee);
+    Context* fbk = mi.seq(nd_, ret, ci_, target, args, nargs);
+    if (fbk == nullptr) ++nd_.stats.stack_completions;
+    return fbk;
+  }
+
+  // Off-node (or diverted) forwarding: the continuation must be materialized
+  // and travels with the invocation. We complete right away; the reply
+  // obligation now rests with the callee.
+  ++nd_.stats.continuations_forwarded;
+  MaterializedCont mk = materialize_continuation(nd_, ci_);
+  mk.cont.forwarded = true;
+  if (is_remote) {
+    ++nd_.stats.remote_invokes;
+    remote_invoke(nd_, callee, target, args, nargs, mk.cont);
+  } else {
+    ++nd_.stats.local_invokes;
+    heap_invoke_local(nd_, callee, target, args, nargs, mk.cont);
+  }
+  return mk.holder;
+}
+
+Context* Frame::fallback(std::uint32_t resume_pc,
+                         std::initializer_list<std::pair<SlotId, Value>> saved) {
+  CONCERT_CHECK(ctx_ != nullptr, "fallback() before any failed call()");
+  Context& me = *ctx_;
+  me.pc = resume_pc;
+  for (const auto& [slot, v] : saved) {
+    me.save(slot, v);
+    nd_.charge(nd_.costs().save_word);
+  }
+  nd_.suspend(me);
+
+  const Schema my_schema = nd_.registry().effective_schema(method_, nd_.mode());
+  Context* up = nullptr;
+  switch (my_schema) {
+    case Schema::NonBlocking:
+      CONCERT_UNREACHABLE("non-blocking method attempted fallback");
+    case Schema::MayBlock:
+      // Our caller will install our return continuation into `me`.
+      up = &me;
+      break;
+    case Schema::ContinuationPassing: {
+      // We must arrange our own reply continuation from our CallerInfo and
+      // hand the continuation's holder context back up the stack.
+      MaterializedCont mk = materialize_continuation(nd_, ci_);
+      me.ret = mk.cont;
+      nd_.charge(nd_.costs().linkage_install);
+      up = mk.holder;
+      break;
+    }
+  }
+  // Unwinding of this activation is complete: drop the adoption guard (if a
+  // CP callee materialized our context); a synchronously delivered value can
+  // now legitimately make us runnable.
+  if (have_guard_) {
+    have_guard_ = false;
+    nd_.release_guard(me);
+  }
+  return up;
+}
+
+Context* Frame::yield_to_parallel(std::uint32_t resume_pc,
+                                  std::initializer_list<std::pair<SlotId, Value>> saved) {
+  Context& me = materialize();
+  me.pc = resume_pc;
+  for (const auto& [slot, v] : saved) {
+    me.save(slot, v);
+    nd_.charge(nd_.costs().save_word);
+  }
+  nd_.enqueue(me);  // runnable immediately — nothing to wait for
+
+  const Schema my_schema = nd_.registry().effective_schema(method_, nd_.mode());
+  switch (my_schema) {
+    case Schema::NonBlocking:
+      CONCERT_UNREACHABLE("non-blocking method attempted yield_to_parallel");
+    case Schema::MayBlock:
+      return &me;
+    case Schema::ContinuationPassing: {
+      MaterializedCont mk = materialize_continuation(nd_, ci_);
+      me.ret = mk.cont;
+      nd_.charge(nd_.costs().linkage_install);
+      if (have_guard_) {
+        have_guard_ = false;
+        nd_.release_guard(me);
+      }
+      return mk.holder;
+    }
+  }
+  CONCERT_UNREACHABLE("bad schema");
+}
+
+// ---------------------------------------------------------------------------
+// ParFrame (caller side of a parallel version)
+// ---------------------------------------------------------------------------
+
+void ParFrame::spawn(MethodId callee, GlobalRef target, const Value* args, std::size_t nargs,
+                     SlotId slot) {
+  MethodRegistry& reg = nd_.registry();
+  const bool is_remote = target.valid() && target.node != nd_.id();
+  if (is_remote) {
+    ++nd_.stats.remote_invokes;
+  } else {
+    ++nd_.stats.local_invokes;
+  }
+
+  if (nd_.mode() == ExecMode::ParallelOnly) {
+    // The parallel-only runtime still performs name translation + locality
+    // checks to route the invocation.
+    nd_.charge(nd_.costs().name_translation + nd_.costs().locality_check);
+    const std::size_t nret_par = reg.info(callee).multi_return;
+    for (std::size_t i = 0; i < nret_par; ++i) ctx_.expect(static_cast<SlotId>(slot + i));
+    nd_.charge(nd_.costs().future_expect);
+    const Continuation k{ctx_.ref(), slot, false};
+    target = resolve_forwarding(nd_, target);
+    if (target.valid() && target.node != nd_.id()) {
+      remote_invoke(nd_, callee, target, args, nargs, k);
+    } else {
+      heap_invoke_local(nd_, callee, target, args, nargs, k);
+    }
+    return;
+  }
+
+  const Schema schema = reg.effective_schema(callee, nd_.mode());
+  charge_seq_call(nd_, schema);
+  const bool runnable_here = nd_.local_and_unlocked(target);
+  const bool injected =
+      runnable_here && nd_.injector().enabled() && nd_.injector().should_block(callee);
+  const std::size_t nret = reg.info(callee).multi_return;
+
+  if (!runnable_here || injected) {
+    for (std::size_t i = 0; i < nret; ++i) ctx_.expect(static_cast<SlotId>(slot + i));
+    nd_.charge(nd_.costs().future_expect);
+    const Continuation k{ctx_.ref(), slot, false};
+    target = resolve_forwarding(nd_, target);
+    if (target.valid() && target.node != nd_.id()) {
+      remote_invoke(nd_, callee, target, args, nargs, k);
+    } else {
+      heap_invoke_local(nd_, callee, target, args, nargs, k);
+    }
+    return;
+  }
+
+  // Hybrid fast path from a parallel caller: children still try the stack.
+  ++nd_.stats.stack_calls;
+  const MethodInfo& mi = reg.info(callee);
+  CONCERT_CHECK(nret <= 8, "multi_return too wide");
+  CallerInfo ci;
+  if (schema == Schema::ContinuationPassing) {
+    ci.context_exists = true;
+    ci.forwarded = false;
+    ci.caller_method = ctx_.method;
+    ci.return_slot = slot;
+    ci.context = ctx_.ref();
+  }
+  const bool locked_here = acquire_implicit_lock(nd_, mi, target);
+  Value out[8];
+  Context* fbk = mi.seq(nd_, out, ci, target, args, nargs);
+  if (fbk == nullptr) {
+    if (locked_here) release_implicit_lock(nd_, target);
+    ++nd_.stats.stack_completions;
+    for (std::size_t i = 0; i < nret; ++i) ctx_.save(static_cast<SlotId>(slot + i), out[i]);
+    return;
+  }
+  if (locked_here) fbk->holds_lock = true;
+  // (The fallback itself is counted at the callee's materialization site.)
+  switch (schema) {
+    case Schema::NonBlocking:
+      CONCERT_UNREACHABLE("non-blocking callee returned a fallback context");
+    case Schema::MayBlock:
+      for (std::size_t i = 0; i < nret; ++i) ctx_.expect(static_cast<SlotId>(slot + i));
+      nd_.charge(nd_.costs().future_expect + nd_.costs().linkage_install);
+      fbk->ret = Continuation{ctx_.ref(), slot, false};
+      break;
+    case Schema::ContinuationPassing:
+      // The callee expected + guarded our return slot at materialization; we
+      // are Running (fills cannot enqueue us), so the guard can drop at once.
+      CONCERT_CHECK(fbk == &ctx_, "CP callee returned a foreign context to a parallel caller");
+      nd_.release_guard(ctx_);
+      break;
+  }
+}
+
+bool ParFrame::touch(std::uint32_t resume_pc) {
+  nd_.charge(nd_.costs().touch);
+  if (!nd_.futures_in_context()) {
+    // Ablation A2 (the StackThreads layout): futures allocated apart from
+    // the context cost an extra indirection on every touch.
+    nd_.charge(1);
+  }
+  if (ctx_.join == 0) return true;
+  ctx_.pc = resume_pc;
+  nd_.suspend(ctx_);
+  return false;
+}
+
+void ParFrame::complete(const Value& v) {
+  if (ctx_.holds_lock) {
+    ctx_.holds_lock = false;
+    release_implicit_lock(nd_, ctx_.self);
+  }
+  nd_.reply_to(ctx_.ret, v);
+  nd_.free_context(ctx_);
+}
+
+void ParFrame::complete_multi(const Value* vs, std::size_t n) {
+  if (ctx_.holds_lock) {
+    ctx_.holds_lock = false;
+    release_implicit_lock(nd_, ctx_.self);
+  }
+  nd_.reply_to_multi(ctx_.ret, vs, n);
+  nd_.free_context(ctx_);
+}
+
+}  // namespace concert

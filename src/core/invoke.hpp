@@ -1,0 +1,176 @@
+// Call-site machinery: speculative stack execution with lazy fallback.
+//
+// This module is what the Concert compiler would emit at every method call
+// site. Application "generated code" uses two helpers:
+//
+//   * Frame     — the caller side inside a *sequential* (stack) version.
+//                 Frame::call attempts a sub-invocation on the stack; if the
+//                 callee completes the value is immediately available, and if
+//                 not, Frame::fallback performs the paper's lazy unwinding:
+//                 materialize this activation's heap context, save live state,
+//                 set the resume point, install linkage, and produce the value
+//                 to return up the stack (per this method's own schema).
+//
+//   * ParFrame  — the caller side inside a *parallel* (heap) version.
+//                 ParFrame::spawn issues child invocations whose results land
+//                 in this context's future slots (children may still complete
+//                 inline on the stack — the hybrid fast path works from
+//                 parallel callers too); ParFrame::touch is the single
+//                 counter-based multi-future touch of Fig. 4.
+//
+// The protocol invariants (what non-null seq returns mean, who creates which
+// context) are documented on SeqFn in core/registry.hpp.
+#pragma once
+
+#include <initializer_list>
+#include <utility>
+
+#include "core/caller_info.hpp"
+#include "core/context.hpp"
+#include "core/registry.hpp"
+#include "machine/node.hpp"
+
+namespace concert {
+
+/// (continuation, context-holding-its-future) pair produced when a CP
+/// method's continuation must actually be materialized (fallback or off-node
+/// forwarding). Implements Sec. 3.2.3's three cases: forwarded (extract from
+/// the fixed location), context-exists (make a continuation to its return
+/// slot), neither (lazily create the caller's context first).
+struct MaterializedCont {
+  Continuation cont;
+  Context* holder;  ///< The context containing the continuation's future.
+};
+MaterializedCont materialize_continuation(Node& nd, const CallerInfo& ci);
+
+class Frame {
+ public:
+  /// `my_ci` is the CallerInfo this activation itself received (only
+  /// meaningful when this method's schema is ContinuationPassing).
+  Frame(Node& nd, MethodId my_method, GlobalRef self, const CallerInfo& my_ci,
+        const Value* args, std::size_t nargs);
+
+  Frame(const Frame&) = delete;
+  Frame& operator=(const Frame&) = delete;
+
+  /// Hybrid sub-invocation. Returns true when the callee completed and *out
+  /// holds the value (for a multi_return method, out[0..K) — pass an array).
+  /// Returns false when the callee went parallel: the value(s) will
+  /// eventually arrive in `slot` (.. slot+K-1) of this activation's context
+  /// (already expected); the caller must save state with fallback() and
+  /// return its result up the stack.
+  bool call(MethodId callee, GlobalRef target, std::initializer_list<Value> args, SlotId slot,
+            Value* out) {
+    return call(callee, target, args.begin(), args.size(), slot, out);
+  }
+  bool call(MethodId callee, GlobalRef target, const Value* args, std::size_t nargs, SlotId slot,
+            Value* out);
+
+  /// Tail-forwards this activation's continuation responsibility to `callee`
+  /// (which must have the CP schema): local targets execute on this very
+  /// stack with (ret, ci) passed through unchanged; remote targets force
+  /// materialization of the continuation, which then travels with the
+  /// message. The caller must `return` the result directly.
+  Context* forward(MethodId callee, GlobalRef target, std::initializer_list<Value> args,
+                   Value* ret) {
+    return forward(callee, target, args.begin(), args.size(), ret);
+  }
+  Context* forward(MethodId callee, GlobalRef target, const Value* args, std::size_t nargs,
+                   Value* ret);
+
+  /// Performs this activation's half of the unwinding after a failed call():
+  /// records the resume point and live state in the (already materialized)
+  /// context and returns the value this seq function must return, per this
+  /// method's own schema (MB: own context; CP: the parent context, with this
+  /// context's reply continuation installed).
+  Context* fallback(std::uint32_t resume_pc,
+                    std::initializer_list<std::pair<SlotId, Value>> saved);
+
+  /// Immediate transfer to the parallel version without waiting on anything:
+  /// materializes the context, records the resume point and saved state, and
+  /// *enqueues* it (it is runnable right away). Used by long-running driver
+  /// methods whose sequential versions would block at entry (e.g. iteration
+  /// drivers that immediately hit a barrier). Returns the value this seq
+  /// function must return up the stack, like fallback().
+  Context* yield_to_parallel(std::uint32_t resume_pc,
+                             std::initializer_list<std::pair<SlotId, Value>> saved);
+
+  /// The materialized context, if any (tests).
+  Context* ctx() { return ctx_; }
+
+ private:
+  Context& materialize();
+  /// Common "the callee must run in parallel" path: expect `slot` (..+K-1),
+  /// then send a message (remote) or enqueue a local heap context.
+  void go_parallel(MethodId callee, GlobalRef target, const Value* args, std::size_t nargs,
+                   SlotId slot, std::size_t nret, bool remote);
+
+  Node& nd_;
+  MethodId method_;
+  GlobalRef self_;
+  const CallerInfo& ci_;
+  const Value* args_;
+  std::size_t nargs_;
+  Context* ctx_ = nullptr;
+  bool have_guard_ = false;  ///< A CP callee guarded our context; fallback() releases it.
+};
+
+class ParFrame {
+ public:
+  ParFrame(Node& nd, Context& ctx) : nd_(nd), ctx_(ctx) {}
+
+  ParFrame(const ParFrame&) = delete;
+  ParFrame& operator=(const ParFrame&) = delete;
+
+  /// Issues a child invocation whose result lands in `slot`. In hybrid modes
+  /// the child may complete inline on the stack (slot filled immediately);
+  /// otherwise the slot is expected and will be filled by a reply.
+  void spawn(MethodId callee, GlobalRef target, std::initializer_list<Value> args, SlotId slot) {
+    spawn(callee, target, args.begin(), args.size(), slot);
+  }
+  void spawn(MethodId callee, GlobalRef target, const Value* args, std::size_t nargs,
+             SlotId slot);
+
+  /// Counter-based touch of everything spawned so far. True: all values
+  /// present, keep executing. False: the context suspended; the parallel
+  /// version must return immediately and will be re-dispatched at
+  /// `resume_pc` once the last outstanding future fills.
+  bool touch(std::uint32_t resume_pc);
+
+  /// Replies through the context's return continuation and frees the context.
+  /// The parallel version must return immediately afterwards.
+  void complete(const Value& v);
+  /// Multi-value completion (methods declared with multi_return > 1).
+  void complete_multi(const Value* vs, std::size_t n);
+
+  /// Reads a filled slot.
+  const Value& get(SlotId s) const { return ctx_.get(s); }
+  /// Writes a slot as a saved local.
+  void save(SlotId s, const Value& v) { ctx_.save(s, v); }
+
+  Context& ctx() { return ctx_; }
+
+ private:
+  Node& nd_;
+  Context& ctx_;
+};
+
+/// Local heap invocation: allocates the callee's context, marshals arguments,
+/// installs the reply continuation, and enqueues it. The paper's ~130
+/// instruction parallel invocation path. Returns the new context.
+Context& heap_invoke_local(Node& nd, MethodId callee, GlobalRef target, const Value* args,
+                           std::size_t nargs, Continuation reply_to);
+
+/// Remote invocation: builds and sends an Invoke message.
+void remote_invoke(Node& nd, MethodId callee, GlobalRef target, const Value* args,
+                   std::size_t nargs, Continuation reply_to);
+
+/// Charges the per-schema sequential call cost at a call site.
+void charge_seq_call(Node& nd, Schema callee_schema);
+
+/// Implicit locking (MethodDecl::locks_self): acquire the target object's
+/// lock before running the method. Returns whether a lock was taken.
+bool acquire_implicit_lock(Node& nd, const MethodInfo& mi, GlobalRef target);
+void release_implicit_lock(Node& nd, GlobalRef target);
+
+}  // namespace concert

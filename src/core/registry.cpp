@@ -1,0 +1,43 @@
+#include "core/registry.hpp"
+
+#include "core/analysis.hpp"
+#include "support/panic.hpp"
+
+namespace concert {
+
+MethodId MethodRegistry::declare(MethodDecl decl) {
+  CONCERT_CHECK(!finalized_, "registry already finalized; cannot declare " << decl.name);
+  CONCERT_CHECK(decl.seq != nullptr, "method " << decl.name << " missing sequential version");
+  CONCERT_CHECK(decl.par != nullptr, "method " << decl.name << " missing parallel version");
+  MethodInfo info;
+  static_cast<MethodDecl&>(info) = std::move(decl);
+  methods_.push_back(std::move(info));
+  return static_cast<MethodId>(methods_.size() - 1);
+}
+
+void MethodRegistry::add_callee(MethodId m, MethodId callee, bool forwards) {
+  CONCERT_CHECK(!finalized_, "registry already finalized");
+  CONCERT_CHECK(m < methods_.size() && callee < methods_.size(), "bad method id");
+  methods_[m].callees.push_back(callee);
+  if (forwards) methods_[m].forwards_to.push_back(callee);
+}
+
+void MethodRegistry::finalize() {
+  CONCERT_CHECK(!finalized_, "registry finalized twice");
+  analyze_schemas(methods_);
+  finalized_ = true;
+}
+
+const MethodInfo& MethodRegistry::info(MethodId m) const {
+  CONCERT_CHECK(m < methods_.size(), "bad method id " << m);
+  return methods_[m];
+}
+
+MethodId MethodRegistry::find(const std::string& name) const {
+  for (std::size_t i = 0; i < methods_.size(); ++i) {
+    if (methods_[i].name == name) return static_cast<MethodId>(i);
+  }
+  return kInvalidMethod;
+}
+
+}  // namespace concert

@@ -1,0 +1,126 @@
+// The method registry: the compiler's view of the program.
+//
+// Every method of the fine-grained program is registered with *two* code
+// versions, exactly as the Concert compiler emits them:
+//
+//   * `seq`  — the sequential (stack) version. All three schemas share one
+//     C++ signature for registry/wrapper uniformity; the *protocol* each
+//     schema follows (what non-null returns mean, who creates contexts) is
+//     the paper's, and the cost model charges the per-schema price.
+//   * `par`  — the parallel version: a resumable state machine over a heap
+//     context. `ctx.pc` selects the resume point; resume points are aligned
+//     with the sequential version's fallback sites so a stack activation can
+//     unwind into the heap and continue where it left off.
+//
+// Methods also declare the call-graph facts the compiler's global flow
+// analysis would compute from source: which methods they call, whether they
+// can suspend locally, and whether they manipulate their continuation.
+// `finalize()` runs the analysis (core/analysis.cpp) and fixes each method's
+// schema; thereafter call sites and wrappers must use the matching convention.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/caller_info.hpp"
+#include "core/global_ref.hpp"
+#include "core/ids.hpp"
+#include "core/schema.hpp"
+#include "core/value.hpp"
+
+namespace concert {
+
+class Node;
+class Context;
+
+/// Sequential (stack) version. Returns nullptr when the invocation completed
+/// on the stack with its value stored through `ret`. A non-null return means
+/// fallback, and its meaning depends on the callee's schema:
+///   * MayBlock: the *callee's* freshly created context; the caller must
+///     install the return linkage into it (paper Fig. 6).
+///   * ContinuationPassing: the *caller's* context (created lazily from `ci`
+///     if needed); the callee has already arranged its own reply continuation
+///     (paper Fig. 7). The caller must not expect a value through `ret`.
+///   * NonBlocking: never returns non-null (enforced by CONCERT_CHECK).
+using SeqFn = Context* (*)(Node& nd, Value* ret, const CallerInfo& ci, GlobalRef self,
+                           const Value* args, std::size_t nargs);
+
+/// Parallel (heap) version: one scheduler step. Runs from ctx.pc; must either
+/// complete (reply through ctx.ret and free the context) or suspend
+/// (expect future slots, set ctx.pc, call nd.suspend(ctx)).
+using ParStep = void (*)(Node& nd, Context& ctx);
+
+/// What the app declares per method (the compiler's input facts).
+struct MethodDecl {
+  std::string name;
+  SeqFn seq = nullptr;
+  ParStep par = nullptr;
+  std::uint16_t frame_slots = 0;  ///< Context size (futures + saved locals).
+  std::uint16_t arg_count = 0;    ///< Declared arity (wrappers check it).
+  bool variadic = false;          ///< Takes >= arg_count args (forwarding chains).
+  /// Number of values this method returns (paper Sec. 5 future work:
+  /// "multiple return values would reduce the cost of the more general stack
+  /// schemas"). The sequential version writes ret[0..multi_return); replies
+  /// carry all values in one message, filling consecutive future slots.
+  /// Limited to NB/MB methods.
+  std::uint8_t multi_return = 1;
+  /// The programming model's *implicit locking*: a method whose class
+  /// declaration demands mutual exclusion holds its target object's lock for
+  /// the whole invocation. Stack execution brackets the call; a fallen-back
+  /// activation keeps the lock until its parallel version completes, and the
+  /// scheduler defers dispatch of an invocation whose target is held.
+  bool locks_self = false;
+  bool blocks_locally = false;    ///< Body may suspend (touches possibly-remote data or futures).
+  bool uses_continuation = false; ///< Body may store its continuation or forward it off-node.
+  std::vector<MethodId> callees;  ///< Stack call sites (for the blocking analysis).
+  std::vector<MethodId> forwards_to;  ///< Callees that receive this method's continuation.
+};
+
+/// Registry entry after analysis.
+struct MethodInfo : MethodDecl {
+  Schema schema = Schema::NonBlocking;
+  bool may_block = false;
+  bool needs_continuation = false;
+};
+
+class MethodRegistry {
+ public:
+  /// Declares a method; callees may be wired afterwards (for recursion).
+  MethodId declare(MethodDecl decl);
+
+  /// Adds a call edge m -> callee; `forwards` marks continuation forwarding.
+  void add_callee(MethodId m, MethodId callee, bool forwards = false);
+
+  /// Runs the schema-selection analysis. Must be called exactly once, after
+  /// which the registry is immutable.
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  const MethodInfo& info(MethodId m) const;
+  std::size_t size() const { return methods_.size(); }
+
+  /// The analyzed schema.
+  Schema schema(MethodId m) const { return info(m).schema; }
+
+  /// The schema a call must actually use under `mode`: Hybrid1 degrades every
+  /// method to the single most-general interface (the paper's "1 interface"
+  /// configuration). Implicitly-locking methods are exempt — their lock
+  /// release is tied to the MB/NB completion protocol (see analysis.cpp).
+  Schema effective_schema(MethodId m, ExecMode mode) const {
+    const MethodInfo& mi = info(m);
+    if (mode == ExecMode::Hybrid1 && !mi.locks_self && mi.multi_return == 1) {
+      return Schema::ContinuationPassing;
+    }
+    return mi.schema;
+  }
+
+  /// Looks a method up by name (tests/benches); kInvalidMethod if absent.
+  MethodId find(const std::string& name) const;
+
+ private:
+  std::vector<MethodInfo> methods_;
+  bool finalized_ = false;
+};
+
+}  // namespace concert

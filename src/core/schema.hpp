@@ -1,0 +1,73 @@
+// Invocation schemas — the paper's Table 1.
+//
+// Every method has a parallel (heap-context) version plus one sequential
+// (stack) version whose calling convention is one of three flavors of
+// increasing generality. The compiler stand-in (core/analysis.hpp) picks the
+// flavor; the MethodRegistry records it; call sites and wrappers must use the
+// matching convention.
+#pragma once
+
+#include <cstdint>
+
+namespace concert {
+
+/// Sequential calling-convention flavor for a method's stack version.
+enum class Schema : std::uint8_t {
+  /// Provably never blocks (nor do any transitive callees): a plain C call;
+  /// the future value is conveyed by the function return value.
+  NonBlocking = 0,
+  /// May block but never needs an explicit continuation: runs optimistically
+  /// on the stack; on blockage the callee lazily allocates its own context
+  /// and returns it so the caller can install the return linkage (Fig. 6).
+  MayBlock = 1,
+  /// May additionally require its continuation (to store or forward it):
+  /// the continuation and the caller context holding its future are both
+  /// created lazily, driven by CallerInfo (Fig. 7).
+  ContinuationPassing = 2,
+};
+
+inline const char* schema_name(Schema s) {
+  switch (s) {
+    case Schema::NonBlocking: return "NB";
+    case Schema::MayBlock: return "MB";
+    case Schema::ContinuationPassing: return "CP";
+  }
+  return "?";
+}
+
+/// How a program is executed — the paper's evaluation columns.
+enum class ExecMode : std::uint8_t {
+  /// Full hybrid model, all three stack schemas available ("3 interfaces").
+  Hybrid3 = 0,
+  /// Hybrid, but only the most general continuation-passing stack schema is
+  /// used for every method ("1 interface").
+  Hybrid1 = 1,
+  /// Every invocation uses the heap-based parallel version.
+  ParallelOnly = 2,
+  /// Hybrid with the parallelization overheads (name translation, locality
+  /// and lock checks) compiled away; the paper's "Seq-opt" column. Only
+  /// meaningful for single-node runs.
+  SeqOpt = 3,
+};
+
+inline const char* exec_mode_name(ExecMode m) {
+  switch (m) {
+    case ExecMode::Hybrid3: return "Hybrid (3 interfaces)";
+    case ExecMode::Hybrid1: return "Hybrid (1 interface)";
+    case ExecMode::ParallelOnly: return "Parallel-only";
+    case ExecMode::SeqOpt: return "Seq-opt";
+  }
+  return "?";
+}
+
+/// What a context does after its first fallback (Sec. 4.1 discusses the
+/// tradeoff; the paper recommends reverting to the parallel version).
+enum class FallbackPolicy : std::uint8_t {
+  /// After the first fallback the activation stays in its parallel version.
+  RevertToParallel = 0,
+  /// Keep re-attempting sequential execution after every suspension
+  /// (the ablation A1 baseline; pays repeated fallback costs).
+  AlwaysRetrySequential = 1,
+};
+
+}  // namespace concert

@@ -1,0 +1,139 @@
+#include "core/tree_barrier.hpp"
+
+#include "core/invoke.hpp"
+#include "core/wrapper.hpp"
+
+namespace concert {
+
+namespace {
+
+MethodId g_arrive = kInvalidMethod;
+MethodId g_notify = kInvalidMethod;
+MethodId g_release = kInvalidMethod;
+
+/// Reactive, no continuation: answer local waiters and recurse down the tree.
+void do_release(Node& nd, TreeBarrierNode& b) {
+  const Value v{b.generation};
+  ++b.generation;
+  b.pending = b.local_expected + static_cast<int>(b.children.size());
+  std::vector<Continuation> waiters = std::move(b.waiters);
+  b.waiters.clear();
+  for (const Continuation& k : waiters) nd.reply_to(k, v);
+  for (const GlobalRef& child : b.children) {
+    invoke_with_continuation(nd, g_release, child, nullptr, 0, kNoContinuation);
+  }
+}
+
+/// Local arrivals + child notifications both decrement `pending`.
+void on_progress(Node& nd, GlobalRef self, TreeBarrierNode& b) {
+  CONCERT_CHECK(b.pending > 0, "tree barrier over-arrived");
+  if (--b.pending > 0) return;
+  if (b.parent.valid()) {
+    // Subtree complete: tell the parent, reactively (no reply wanted).
+    invoke_with_continuation(nd, g_notify, b.parent, nullptr, 0, kNoContinuation);
+  } else {
+    do_release(nd, b);  // the root completes the phase
+  }
+  (void)self;
+}
+
+Context* arrive_seq(Node& nd, Value* ret, const CallerInfo& ci, GlobalRef self,
+                    const Value* args, std::size_t nargs) {
+  (void)ret;
+  (void)args;
+  (void)nargs;
+  auto& b = nd.objects().get<TreeBarrierNode>(self);
+  MaterializedCont mk = materialize_continuation(nd, ci);
+  b.waiters.push_back(mk.cont);
+  on_progress(nd, self, b);
+  return mk.holder;
+}
+void arrive_par(Node& nd, Context& ctx) {
+  auto& b = nd.objects().get<TreeBarrierNode>(ctx.self);
+  const Continuation k = ctx.ret;
+  const GlobalRef self = ctx.self;
+  nd.free_context(ctx);
+  b.waiters.push_back(k);
+  on_progress(nd, self, b);
+}
+
+Context* notify_seq(Node& nd, Value* ret, const CallerInfo&, GlobalRef self, const Value*,
+                    std::size_t) {
+  auto& b = nd.objects().get<TreeBarrierNode>(self);
+  on_progress(nd, self, b);
+  *ret = Value::nil();  // reactive: nobody is listening
+  return nullptr;
+}
+void notify_par(Node& nd, Context& ctx) {
+  const GlobalRef self = ctx.self;
+  ParFrame f(nd, ctx);
+  f.complete(Value::nil());
+  auto& b = nd.objects().get<TreeBarrierNode>(self);
+  on_progress(nd, self, b);
+}
+
+Context* release_seq(Node& nd, Value* ret, const CallerInfo&, GlobalRef self, const Value*,
+                     std::size_t) {
+  auto& b = nd.objects().get<TreeBarrierNode>(self);
+  do_release(nd, b);
+  *ret = Value::nil();
+  return nullptr;
+}
+void release_par(Node& nd, Context& ctx) {
+  const GlobalRef self = ctx.self;
+  ParFrame f(nd, ctx);
+  f.complete(Value::nil());
+  auto& b = nd.objects().get<TreeBarrierNode>(self);
+  do_release(nd, b);
+}
+
+}  // namespace
+
+TreeBarrierMethods register_tree_barrier_methods(MethodRegistry& reg) {
+  TreeBarrierMethods m;
+  MethodDecl d;
+  d.name = "tree_barrier.arrive";
+  d.seq = arrive_seq;
+  d.par = arrive_par;
+  d.uses_continuation = true;
+  m.arrive = g_arrive = reg.declare(d);
+
+  d = MethodDecl{};
+  d.name = "tree_barrier.notify";
+  d.seq = notify_seq;
+  d.par = notify_par;
+  m.notify = g_notify = reg.declare(d);
+
+  d = MethodDecl{};
+  d.name = "tree_barrier.release";
+  d.seq = release_seq;
+  d.par = release_par;
+  m.release = g_release = reg.declare(d);
+  return m;
+}
+
+std::vector<GlobalRef> make_tree_barrier(Machine& machine, int arrivals_per_node, int fanout) {
+  CONCERT_CHECK(arrivals_per_node > 0 && fanout >= 1, "bad tree barrier shape");
+  const std::size_t p = machine.node_count();
+  std::vector<GlobalRef> refs(p);
+  std::vector<TreeBarrierNode*> nodes(p);
+  for (NodeId nid = 0; nid < p; ++nid) {
+    auto [ref, b] = machine.node(nid).objects().create<TreeBarrierNode>(kTreeBarrierType);
+    refs[nid] = ref;
+    nodes[nid] = b;
+    b->local_expected = arrivals_per_node;
+  }
+  for (NodeId nid = 0; nid < p; ++nid) {
+    if (nid > 0) {
+      const NodeId parent = (nid - 1) / static_cast<NodeId>(fanout);
+      nodes[nid]->parent = refs[parent];
+      nodes[parent]->children.push_back(refs[nid]);
+    }
+  }
+  for (NodeId nid = 0; nid < p; ++nid) {
+    nodes[nid]->pending = nodes[nid]->local_expected + static_cast<int>(nodes[nid]->children.size());
+  }
+  return refs;
+}
+
+}  // namespace concert

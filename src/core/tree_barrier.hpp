@@ -1,0 +1,49 @@
+// A combining-tree barrier: the scalable variant of the flat barrier in
+// core/barrier.hpp, composed from the same first-class-continuation machinery
+// plus *reactive* invocations (no continuation at all — Fig. 3's reactive
+// structure).
+//
+// One TreeBarrierNode object lives on every machine node, arranged in a
+// `fanout`-ary tree. An arrival stores its continuation at the local tree
+// node; when a tree node has collected its local arrivals plus its children's
+// completion notifications, it notifies its parent reactively. When the root
+// completes, release notifications flow back down and every stored
+// continuation is answered with the generation. The hot root therefore
+// receives `fanout` messages per phase instead of P-1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/continuation.hpp"
+#include "core/registry.hpp"
+#include "machine/machine.hpp"
+
+namespace concert {
+
+struct TreeBarrierNode {
+  GlobalRef parent;                 ///< invalid at the root.
+  std::vector<GlobalRef> children;  ///< child tree-node objects.
+  int local_expected = 0;           ///< arrivals expected at this node per phase.
+  int pending = 0;                  ///< local arrivals + child notifications outstanding.
+  std::int64_t generation = 0;
+  std::vector<Continuation> waiters;
+};
+
+struct TreeBarrierMethods {
+  MethodId arrive = kInvalidMethod;   ///< CP: stores the arrival's continuation.
+  MethodId notify = kInvalidMethod;   ///< NB, reactive: child subtree complete.
+  MethodId release = kInvalidMethod;  ///< NB, reactive: answer waiters, recurse down.
+};
+
+/// Registers the three methods. Once per registry.
+TreeBarrierMethods register_tree_barrier_methods(MethodRegistry& reg);
+
+/// Builds a fanout-ary tree with one tree node per machine node (node 0 is
+/// the root), each expecting `arrivals_per_node` local arrivals per phase.
+/// Returns the per-machine-node tree objects; arrivals go to the local one.
+std::vector<GlobalRef> make_tree_barrier(Machine& machine, int arrivals_per_node, int fanout);
+
+inline constexpr std::uint32_t kTreeBarrierType = 0x73EEu;
+
+}  // namespace concert

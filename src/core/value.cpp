@@ -1,0 +1,52 @@
+#include "core/value.hpp"
+
+#include <cstring>
+#include <ostream>
+#include <sstream>
+
+namespace concert {
+
+const char* Value::tag_name() const {
+  switch (tag_) {
+    case Tag::Nil: return "nil";
+    case Tag::I64: return "i64";
+    case Tag::F64: return "f64";
+    case Tag::Ref: return "ref";
+    case Tag::U64: return "u64";
+  }
+  return "?";
+}
+
+std::string Value::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.tag_ != b.tag_) return false;
+  switch (a.tag_) {
+    case Value::Tag::Nil: return true;
+    case Value::Tag::I64: return a.u_.i == b.u_.i;
+    case Value::Tag::F64: return a.u_.d == b.u_.d;
+    case Value::Tag::Ref: return a.u_.u == b.u_.u;
+    case Value::Tag::U64: return a.u_.u == b.u_.u;
+  }
+  return false;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  switch (v.tag()) {
+    case Value::Tag::Nil: return os << "nil";
+    case Value::Tag::I64: return os << v.as_i64();
+    case Value::Tag::F64: return os << v.as_f64();
+    case Value::Tag::Ref: {
+      GlobalRef r = v.as_ref();
+      return os << "ref(" << r.node << "," << r.index << ")";
+    }
+    case Value::Tag::U64: return os << v.as_u64() << "u";
+  }
+  return os;
+}
+
+}  // namespace concert

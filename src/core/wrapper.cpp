@@ -1,0 +1,150 @@
+#include "core/wrapper.hpp"
+
+#include <vector>
+
+#include "core/invoke.hpp"
+#include "core/registry.hpp"
+
+namespace concert {
+
+Context& make_proxy_context(Node& nd, const Continuation& k) {
+  Context& proxy = nd.alloc_context_raw(kInvalidMethod, 0);
+  proxy.status = ContextStatus::Proxy;
+  proxy.ret = k;  // the fixed continuation location
+  nd.charge(nd.costs().proxy_setup);
+  ++nd.stats.proxy_contexts;
+  return proxy;
+}
+
+CallerInfo proxy_caller_info(const Context& proxy) {
+  CallerInfo ci;
+  ci.context_exists = true;
+  ci.forwarded = true;
+  ci.context = proxy.ref();
+  ci.return_slot = 0;
+  return ci;
+}
+
+namespace {
+
+/// The conservative path: allocate a heap context and schedule it.
+void invoke_via_heap(Node& nd, MethodId method, GlobalRef target, const Value* args,
+                     std::size_t nargs, const Continuation& k) {
+  ++nd.stats.heap_invokes;
+  Context& ctx = nd.alloc_context(method);
+  ctx.self = target;
+  ctx.args.assign(args, args + nargs);
+  ctx.ret = k;
+  nd.charge(nd.costs().heap_invoke_fixed + nd.costs().save_word * nargs +
+            nd.costs().linkage_install);
+  ctx.status = ContextStatus::Waiting;
+  nd.enqueue(ctx);
+}
+
+}  // namespace
+
+GlobalRef resolve_forwarding(Node& nd, GlobalRef target) {
+  while (target.valid() && target.node == nd.id() && nd.objects().is_forwarded(target)) {
+    nd.charge(nd.costs().name_translation);
+    target = nd.objects().forward_of(target);
+  }
+  return target;
+}
+
+void invoke_with_continuation(Node& nd, MethodId method, GlobalRef target, const Value* args,
+                              std::size_t nargs, const Continuation& k, bool count_invocation) {
+  CONCERT_CHECK(method != kInvalidMethod, "invoke of invalid method");
+  target = resolve_forwarding(nd, target);
+  MethodRegistry& reg = nd.registry();
+  const MethodInfo& mi = reg.info(method);
+  CONCERT_CHECK(mi.variadic ? nargs >= mi.arg_count : nargs == mi.arg_count,
+                "invoke of " << mi.name << " with " << nargs << " args, wants "
+                             << mi.arg_count);
+
+  if (target.valid() && target.node != nd.id()) {
+    if (count_invocation) ++nd.stats.remote_invokes;
+    nd.send(Message::invoke(nd.id(), target.node, method, target,
+                            std::vector<Value>(args, args + nargs), k));
+    return;
+  }
+  if (count_invocation) ++nd.stats.local_invokes;
+
+  if (nd.mode() == ExecMode::ParallelOnly) {
+    invoke_via_heap(nd, method, target, args, nargs, k);
+    return;
+  }
+
+  // The handler may not run the method on its stack if the target object is
+  // locked; divert to the scheduler.
+  if (target.valid()) {
+    nd.charge(nd.costs().lock_check);
+    if (nd.objects().locked(target)) {
+      invoke_via_heap(nd, method, target, args, nargs, k);
+      return;
+    }
+  }
+
+  const Schema schema = reg.effective_schema(method, nd.mode());
+  charge_seq_call(nd, schema);
+  ++nd.stats.stack_calls;
+
+  Value rv[8];
+  switch (schema) {
+    case Schema::NonBlocking: {
+      const bool locked_here = acquire_implicit_lock(nd, mi, target);
+      Context* fbk = mi.seq(nd, rv, CallerInfo::none(), target, args, nargs);
+      CONCERT_CHECK(fbk == nullptr, "non-blocking method " << mi.name << " fell back");
+      if (locked_here) release_implicit_lock(nd, target);
+      ++nd.stats.stack_completions;
+      // A purely reactive invocation carries no continuation; otherwise pass
+      // the return value(s) to the waiting future(s).
+      nd.reply_to_multi(k, rv, mi.multi_return);
+      return;
+    }
+    case Schema::MayBlock: {
+      const bool locked_here = acquire_implicit_lock(nd, mi, target);
+      Context* fbk = mi.seq(nd, rv, CallerInfo::none(), target, args, nargs);
+      if (fbk == nullptr) {
+        if (locked_here) release_implicit_lock(nd, target);
+        ++nd.stats.stack_completions;
+        nd.reply_to_multi(k, rv, mi.multi_return);
+      } else {
+        if (locked_here) fbk->holds_lock = true;
+        // Place the continuation in the callee's context in case the method
+        // suspended (Fig. 8, May-block row).
+        nd.charge(nd.costs().linkage_install);
+        fbk->ret = k;
+      }
+      return;
+    }
+    case Schema::ContinuationPassing: {
+      Context& proxy = make_proxy_context(nd, k);
+      const CallerInfo ci = proxy_caller_info(proxy);
+      Context* fbk = mi.seq(nd, rv, ci, target, args, nargs);
+      if (fbk == nullptr) {
+        // The method replied by storing through return_val: forward the value
+        // to the original caller; the continuation was never materialized.
+        ++nd.stats.stack_completions;
+        nd.reply_to(k, rv[0]);
+      } else {
+        // The continuation was extracted from the proxy (stored, forwarded,
+        // or attached to a suspended context); the reply obligation has moved.
+        CONCERT_CHECK(fbk == &proxy, "CP wrapper got a foreign holder context");
+      }
+      nd.free_context(proxy);
+      return;
+    }
+  }
+}
+
+void handle_invoke_message(Node& nd, Message& msg) {
+  CONCERT_CHECK(msg.method != kInvalidMethod, "invoke message without a method");
+  // Executes the stack version directly out of the message buffer. A message
+  // whose target is not local (a seed injected on the "wrong" node, or a
+  // future object-migration feature) is transparently re-routed by the
+  // remote branch inside. The invocation was already counted at the sender.
+  invoke_with_continuation(nd, msg.method, msg.target, msg.args.data(), msg.args.size(),
+                           msg.reply_to, /*count_invocation=*/false);
+}
+
+}  // namespace concert

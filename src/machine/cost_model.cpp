@@ -1,0 +1,60 @@
+#include "machine/cost_model.hpp"
+
+namespace concert {
+
+CostModel CostModel::cm5() {
+  CostModel m;
+  m.name = "CM-5";
+  m.clock_hz = 33.0e6;
+  m.msg_send_overhead = 330;
+  m.msg_recv_overhead = 330;
+  // "On the CM-5 replies are inexpensive (a single packet)."
+  m.reply_send_overhead = 90;
+  m.reply_recv_overhead = 90;
+  m.per_packet = 160;  // processor-driven injection: each packet is most of another send
+  m.packet_bytes = 24;
+  m.wire_latency = 250;
+  return m;
+}
+
+CostModel CostModel::t3d() {
+  CostModel m;
+  m.name = "T3D";
+  m.clock_hz = 150.0e6;
+  // No register windows on the Alpha: "a C function call costs 5 instructions
+  // [on SPARC] but it is more likely to be between 10-15 instructions on
+  // other processors" (paper footnote); the T3D runtime was also the less
+  // mature port, so the context machinery runs heavier.
+  m.c_call = 12;
+  m.nb_call_extra = 9;
+  m.mb_call_extra = 11;
+  m.cp_call_extra = 13;
+  m.context_alloc = 48;
+  m.context_free = 18;
+  m.save_word = 3;
+  m.linkage_install = 12;
+  m.schedule_enqueue = 18;
+  m.dispatch = 21;
+  m.reply_store = 9;
+  m.heap_invoke_fixed = 15;
+  // Per-message software overhead above the CM-5's, and replies cost nearly
+  // as much as requests (no cheap single-packet reply path).
+  m.msg_send_overhead = 400;
+  m.msg_recv_overhead = 400;
+  m.reply_send_overhead = 300;
+  m.reply_recv_overhead = 300;
+  // Large packets: message size matters much less than message count.
+  m.per_packet = 25;
+  m.packet_bytes = 64;
+  m.wire_latency = 180;
+  return m;
+}
+
+CostModel CostModel::workstation() {
+  CostModel m;
+  m.name = "SPARC workstation";
+  m.clock_hz = 40.0e6;
+  return m;
+}
+
+}  // namespace concert

@@ -1,0 +1,59 @@
+#include "machine/machine.hpp"
+
+#include <algorithm>
+
+namespace concert {
+
+Machine::Machine(std::size_t nodes, MachineConfig config) : config_(config) {
+  CONCERT_CHECK(nodes > 0, "machine needs at least one node");
+  nodes_.reserve(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    nodes_.push_back(std::make_unique<Node>(static_cast<NodeId>(i), *this));
+    if (config_.trace) nodes_.back()->tracer.enable();
+  }
+}
+
+Machine::~Machine() = default;
+
+Value Machine::run_main(NodeId where, MethodId method, GlobalRef target,
+                        std::vector<Value> args) {
+  CONCERT_CHECK(registry_.finalized(), "registry must be finalized before running");
+  Node& nd = node(where);
+
+  // The root future lives in a proxy context: it receives the program's
+  // answer but is never scheduled.
+  Context& root = nd.alloc_context_raw(kInvalidMethod, 1);
+  root.status = ContextStatus::Proxy;
+  root.expect(0);
+
+  // Seed through the normal send path so message accounting stays balanced
+  // (the "spawn" costs one self-message on the seeding node).
+  Message msg = Message::invoke(where, where, method, target, std::move(args),
+                                Continuation{root.ref(), 0});
+  nd.send(std::move(msg));
+  run_until_quiescent();
+
+  const Value result = root.slot_full(0) ? root.get(0) : Value::nil();
+  nd.free_context(root);
+  return result;
+}
+
+NodeStats Machine::total_stats() const {
+  NodeStats total;
+  for (const auto& n : nodes_) total += n->stats;
+  return total;
+}
+
+std::uint64_t Machine::max_clock() const {
+  std::uint64_t mx = 0;
+  for (const auto& n : nodes_) mx = std::max(mx, n->clock());
+  return mx;
+}
+
+std::size_t Machine::live_contexts() const {
+  std::size_t live = 0;
+  for (const auto& n : nodes_) live += n->arena().live_count();
+  return live;
+}
+
+}  // namespace concert

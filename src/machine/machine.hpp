@@ -1,0 +1,99 @@
+// The multicomputer: a set of nodes plus an execution engine.
+//
+// Two engines share all runtime code and differ only in how node actions are
+// interleaved and how messages travel:
+//
+//   * SimMachine (sim_machine.hpp) — deterministic conservative simulation.
+//     The node with the smallest local clock acts next; messages are
+//     delivered at sender-clock + latency, FIFO per channel. Simulated time
+//     (instructions / clock rate) reproduces the paper's CM-5/T3D tables.
+//
+//   * ThreadedMachine (threaded_machine.hpp) — one std::thread per node with
+//     real concurrent inboxes and Dijkstra-style quiescence detection via a
+//     global outstanding-work counter. Demonstrates the runtime is safe under
+//     genuine concurrency; wall-clock time is its metric.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/registry.hpp"
+#include "core/schema.hpp"
+#include "machine/cost_model.hpp"
+#include "machine/node.hpp"
+
+namespace concert {
+
+struct MachineConfig {
+  CostModel costs = CostModel::workstation();
+  ExecMode mode = ExecMode::Hybrid3;
+  FallbackPolicy policy = FallbackPolicy::RevertToParallel;
+  /// Record scheduler-level events for chrome://tracing export.
+  bool trace = false;
+  /// Ablation A2: when false, futures are modeled as separately allocated
+  /// (one extra memory indirection charged on every touch and fill, as in
+  /// StackThreads); when true (default, the paper's design) they live in the
+  /// context.
+  bool futures_in_context = true;
+  std::uint64_t seed = 0x5eed;
+};
+
+class Machine {
+ public:
+  Machine(std::size_t nodes, MachineConfig config);
+  virtual ~Machine();
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  Node& node(NodeId id) {
+    CONCERT_CHECK(id < nodes_.size(), "bad node id " << id);
+    return *nodes_[id];
+  }
+  const Node& node(NodeId id) const {
+    CONCERT_CHECK(id < nodes_.size(), "bad node id " << id);
+    return *nodes_[id];
+  }
+  const MethodRegistry& registry() const { return registry_; }
+  const MachineConfig& config() const { return config_; }
+  const CostModel& costs() const { return config_.costs; }
+  MethodRegistry& registry() { return registry_; }
+
+  /// Routes a message from a node. Called by Node::send after the sender paid
+  /// its overhead. Engine-specific (network timestamping vs inbox push).
+  virtual void route(Node& from, Message msg) = 0;
+
+  /// Runs until no node has work and no message is in flight.
+  virtual void run_until_quiescent() = 0;
+
+  /// Work-accounting hook for quiescence detection: invoked when a context is
+  /// enqueued. (Message sends are accounted inside route().) The deterministic
+  /// engine tracks work structurally and ignores these.
+  virtual void on_work_created() {}
+  virtual void on_work_retired() {}
+
+  /// Convenience driver: injects an invocation of `method` on `target`
+  /// (executed on `where`) with a continuation to a fresh root future, runs to
+  /// quiescence, and returns the root value (Nil if the program was reactive
+  /// and never replied).
+  Value run_main(NodeId where, MethodId method, GlobalRef target, std::vector<Value> args);
+
+  /// Sum of all nodes' counters.
+  NodeStats total_stats() const;
+  /// Makespan: the largest node clock, in instructions.
+  std::uint64_t max_clock() const;
+  /// Makespan in simulated seconds under this machine's cost model.
+  double elapsed_seconds() const { return config_.costs.seconds(max_clock()); }
+
+  /// Asserts no contexts leaked (test support): every arena's live count is 0.
+  std::size_t live_contexts() const;
+
+ protected:
+  MachineConfig config_;
+  MethodRegistry registry_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace concert

@@ -1,0 +1,35 @@
+#include "machine/message.hpp"
+
+namespace concert {
+
+std::uint32_t Message::size_bytes() const {
+  // Header: kind + src + dst + method + target + continuation.
+  std::uint32_t n = 1 + 4 + 4 + 4 + 8 + Continuation::wire_size();
+  n += static_cast<std::uint32_t>(args.size()) * Value::wire_size();
+  return n;
+}
+
+Message Message::invoke(NodeId src, NodeId dst, MethodId m, GlobalRef target,
+                        std::vector<Value> args, Continuation reply_to) {
+  Message msg;
+  msg.kind = MsgKind::Invoke;
+  msg.src = src;
+  msg.dst = dst;
+  msg.method = m;
+  msg.target = target;
+  msg.args = std::move(args);
+  msg.reply_to = reply_to;
+  return msg;
+}
+
+Message Message::reply(NodeId src, NodeId dst, Continuation k, const Value& v) {
+  Message msg;
+  msg.kind = MsgKind::Reply;
+  msg.src = src;
+  msg.dst = dst;
+  msg.reply_to = k;
+  msg.args = {v};
+  return msg;
+}
+
+}  // namespace concert

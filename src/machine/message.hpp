@@ -1,0 +1,47 @@
+// Messages: remote method invocations and replies.
+//
+// An Invoke message carries the method, the target object, word-sized
+// arguments, optional bulk payload, and a continuation for the return value.
+// On arrival the wrapper machinery (core/wrapper.cpp) executes the target's
+// stack version directly out of the message — the hybrid model's key win for
+// remote invocations — falling back to a heap context only if it blocks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/continuation.hpp"
+#include "core/global_ref.hpp"
+#include "core/ids.hpp"
+#include "core/value.hpp"
+
+namespace concert {
+
+enum class MsgKind : std::uint8_t {
+  Invoke,  ///< Run `method` on `target`; reply through `reply_to` if valid.
+  Reply,   ///< Fill the future named by `reply_to` with args[0].
+};
+
+struct Message {
+  MsgKind kind = MsgKind::Invoke;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+
+  MethodId method = kInvalidMethod;  ///< Invoke only.
+  GlobalRef target;                  ///< Invoke only.
+  Continuation reply_to;             ///< Invoke: result continuation. Reply: future to fill.
+  std::vector<Value> args;           ///< Invoke arguments / Reply value in args[0].
+
+  // --- simulator bookkeeping (not "on the wire") ---
+  std::uint64_t deliver_at = 0;  ///< Receiver-clock time the message becomes visible.
+  std::uint64_t seq = 0;         ///< Global send order; FIFO tie-break.
+
+  /// Wire size in bytes, used to count packets for the cost model.
+  std::uint32_t size_bytes() const;
+
+  static Message invoke(NodeId src, NodeId dst, MethodId m, GlobalRef target,
+                        std::vector<Value> args, Continuation reply_to);
+  static Message reply(NodeId src, NodeId dst, Continuation k, const Value& v);
+};
+
+}  // namespace concert

@@ -1,0 +1,43 @@
+#include "machine/network.hpp"
+
+#include <algorithm>
+
+#include "support/panic.hpp"
+
+namespace concert {
+
+SimNetwork::SimNetwork(std::size_t nodes, const CostModel& costs)
+    : costs_(costs), nnodes_(nodes), queues_(nodes), channel_last_(nodes * nodes, 0) {}
+
+void SimNetwork::inject(Message msg, std::uint64_t sender_clock) {
+  CONCERT_CHECK(msg.dst < nnodes_, "message to nonexistent node " << msg.dst);
+  CONCERT_CHECK(msg.src < nnodes_, "message from nonexistent node " << msg.src);
+  const std::uint64_t serialization = costs_.per_packet * costs_.packets(msg.size_bytes());
+  std::uint64_t at = sender_clock + costs_.wire_latency + serialization;
+  // FIFO per channel: never deliver before an earlier message on the same channel.
+  std::uint64_t& last = channel_last_[msg.src * nnodes_ + msg.dst];
+  at = std::max(at, last);
+  last = at;
+  msg.deliver_at = at;
+  msg.seq = next_seq_++;
+  queues_[msg.dst].push(std::move(msg));
+  ++in_flight_;
+}
+
+std::uint64_t SimNetwork::earliest_for(NodeId dst) const {
+  const auto& q = queues_[dst];
+  return q.empty() ? UINT64_MAX : q.top().deliver_at;
+}
+
+Message SimNetwork::pop_for(NodeId dst) {
+  auto& q = queues_[dst];
+  CONCERT_CHECK(!q.empty(), "pop from empty network queue for node " << dst);
+  Message m = q.top();
+  q.pop();
+  --in_flight_;
+  return m;
+}
+
+bool SimNetwork::empty_for(NodeId dst) const { return queues_[dst].empty(); }
+
+}  // namespace concert

@@ -1,0 +1,54 @@
+// The simulated interconnect for the deterministic engine.
+//
+// Messages are timestamped at injection (sender clock + wire latency + packet
+// serialization) and become visible to the receiver when its local clock
+// reaches `deliver_at`. Delivery is FIFO per (src,dst) channel — both the
+// CM-5 data network and the T3D torus preserve channel order for the runtime's
+// usage — and globally deterministic via a send-sequence tie-break.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "machine/cost_model.hpp"
+#include "machine/message.hpp"
+
+namespace concert {
+
+class SimNetwork {
+ public:
+  SimNetwork(std::size_t nodes, const CostModel& costs);
+
+  /// Injects a message. `sender_clock` is the sender's clock *after* it paid
+  /// the send overhead. Computes and stamps deliver_at.
+  void inject(Message msg, std::uint64_t sender_clock);
+
+  /// Earliest deliver_at of any message destined for `dst`, or UINT64_MAX.
+  std::uint64_t earliest_for(NodeId dst) const;
+
+  /// Pops the earliest message for `dst`. Must be non-empty.
+  Message pop_for(NodeId dst);
+
+  bool empty_for(NodeId dst) const;
+
+  /// Total undelivered messages (quiescence check).
+  std::size_t in_flight() const { return in_flight_; }
+
+ private:
+  struct Later {
+    bool operator()(const Message& a, const Message& b) const {
+      if (a.deliver_at != b.deliver_at) return a.deliver_at > b.deliver_at;
+      return a.seq > b.seq;
+    }
+  };
+
+  const CostModel& costs_;
+  std::size_t nnodes_;
+  std::vector<std::priority_queue<Message, std::vector<Message>, Later>> queues_;
+  std::vector<std::uint64_t> channel_last_;  ///< [src*n+dst] last deliver_at, for FIFO.
+  std::uint64_t next_seq_ = 0;
+  std::size_t in_flight_ = 0;
+};
+
+}  // namespace concert

@@ -1,0 +1,228 @@
+#include "machine/node.hpp"
+
+#include "core/registry.hpp"
+#include "core/wrapper.hpp"
+#include "machine/machine.hpp"
+
+namespace concert {
+
+Node::Node(NodeId id, Machine& machine)
+    : rng(machine.config().seed * 0x9e3779b97f4a7c15ull + id + 1),
+      id_(id),
+      machine_(machine),
+      arena_(id),
+      objects_(id) {}
+
+MethodRegistry& Node::registry() { return machine_.registry(); }
+const CostModel& Node::costs() const { return machine_.config().costs; }
+ExecMode Node::mode() const { return machine_.config().mode; }
+FallbackPolicy Node::fallback_policy() const { return machine_.config().policy; }
+bool Node::futures_in_context() const { return machine_.config().futures_in_context; }
+
+Context& Node::alloc_context(MethodId m) {
+  return alloc_context_raw(m, registry().info(m).frame_slots);
+}
+
+Context& Node::alloc_context_raw(MethodId m, std::size_t slots) {
+  charge(costs().context_alloc);
+  ++stats.contexts_allocated;
+  return arena_.alloc(m, slots);
+}
+
+void Node::free_context(Context& ctx) {
+  CONCERT_CHECK(ctx.status != ContextStatus::Ready,
+                "freeing context " << ctx.ref() << " still in the ready queue");
+  CONCERT_CHECK(!ctx.holds_lock, "freeing context " << ctx.ref() << " still holding a lock");
+  charge(costs().context_free);
+  ++stats.contexts_freed;
+  arena_.free(ctx);
+}
+
+void Node::enqueue(Context& ctx) {
+  CONCERT_CHECK(ctx.home == id_, "enqueue of foreign context " << ctx.ref());
+  CONCERT_CHECK(ctx.status != ContextStatus::Ready, "double enqueue of " << ctx.ref());
+  ctx.status = ContextStatus::Ready;
+  charge(costs().schedule_enqueue);
+  ready_.push_back(ctx.id);
+  machine_.on_work_created();
+}
+
+void Node::suspend(Context& ctx) {
+  CONCERT_CHECK(ctx.status == ContextStatus::Running || ctx.status == ContextStatus::Waiting,
+                "suspend of non-running context " << ctx.ref());
+  if (ctx.join == 0) {
+    // Everything it waited for already arrived: the touch succeeds at once.
+    ctx.status = ContextStatus::Waiting;
+    enqueue(ctx);
+  } else {
+    ctx.status = ContextStatus::Waiting;
+    ++stats.suspensions;
+    tracer.record(clock_, TraceKind::Suspend, ctx.method);
+  }
+}
+
+void Node::resume(Context& ctx) {
+  ++stats.resumptions;
+  tracer.record(clock_, TraceKind::Resume, ctx.method);
+  if (fallback_policy() == FallbackPolicy::AlwaysRetrySequential && ctx.reverted) {
+    // Ablation A1: this policy re-runs the method on the stack at every
+    // resumption; if it blocks again it pays the unwinding again. Charged as
+    // a lump since the re-execution reproduces the already-counted work.
+    charge(costs().respeculation);
+  }
+  enqueue(ctx);
+}
+
+void Node::release_guard(Context& ctx) {
+  CONCERT_CHECK(ctx.join > 0, "guard release with join==0 on " << ctx.ref());
+  if (--ctx.join == 0 && ctx.status == ContextStatus::Waiting) {
+    resume(ctx);
+  }
+}
+
+bool Node::run_one() {
+  if (ready_.empty()) return false;
+  const ContextId cid = ready_.front();
+  ready_.pop_front();
+  // A queued context cannot be freed (free_context checks), so the id is
+  // stable and we can look it up directly.
+  CONCERT_CHECK(cid < arena_.capacity(), "ready queue holds bad context id " << cid);
+  Context& ctx = arena_.resolve(ContextRef{id_, cid, arena_gen_of(cid)});
+  CONCERT_CHECK(ctx.status == ContextStatus::Ready, "dequeued context " << ctx.ref()
+                                                                        << " is not Ready");
+  // Implicit locking: an invocation on a held object is deferred (the
+  // holder is either in this queue or waiting on futures; it will finish).
+  if (ctx.method != kInvalidMethod) {
+    const MethodInfo& mi = registry().info(ctx.method);
+    if (mi.locks_self && ctx.self.valid() && !ctx.holds_lock) {
+      if (objects_.locked(ctx.self)) {
+        charge(costs().lock_check);
+        ready_.push_back(cid);  // defer to the back of the queue
+        machine_.on_work_created();
+        return true;
+      }
+      objects_.lock(ctx.self);
+      charge(costs().lock_check);
+      ctx.holds_lock = true;
+    }
+  }
+  ctx.status = ContextStatus::Running;
+  charge(costs().dispatch);
+  const MethodId method = ctx.method;
+  tracer.record(clock_, TraceKind::DispatchBegin, method);
+  const ParStep par = registry().info(method).par;
+  CONCERT_CHECK(par != nullptr, "context " << ctx.ref() << " has no parallel version");
+  par(*this, ctx);
+  tracer.record(clock_, TraceKind::DispatchEnd, method);
+  return true;
+}
+
+std::uint32_t Node::arena_gen_of(ContextId id) {
+  // Helper for the ready queue: queued contexts stay live, so the current
+  // generation is the queued generation.
+  Context* ctx = arena_.try_resolve_any_gen(id);
+  CONCERT_CHECK(ctx != nullptr, "ready queue refers to freed context " << id);
+  return ctx->gen;
+}
+
+void Node::send(Message msg) {
+  msg.src = id_;
+  const bool is_reply = msg.kind == MsgKind::Reply;
+  // Fixed software overhead plus processor-driven injection of each packet
+  // (on the CM-5 every extra packet costs nearly another active message).
+  charge((is_reply ? costs().reply_send_overhead : costs().msg_send_overhead) +
+         costs().per_packet * costs().packets(msg.size_bytes()));
+  tracer.record(clock_, TraceKind::MsgSend, msg.method);
+  ++stats.msgs_sent;
+  if (is_reply) ++stats.replies_sent;
+  stats.bytes_sent += msg.size_bytes();
+  machine_.route(*this, std::move(msg));
+}
+
+void Node::deliver(Message& msg) {
+  const bool is_reply = msg.kind == MsgKind::Reply;
+  charge(is_reply ? costs().reply_recv_overhead : costs().msg_recv_overhead);
+  ++stats.msgs_received;
+  tracer.record(clock_, TraceKind::MsgRecv, msg.method);
+  if (is_reply) {
+    // Replies may carry several values, filling consecutive slots (the
+    // multiple-return-values extension).
+    for (std::size_t i = 0; i < msg.args.size(); ++i) {
+      Continuation ki = msg.reply_to;
+      ki.slot = static_cast<SlotId>(msg.reply_to.slot + i);
+      fill_local(ki, msg.args[i]);
+    }
+  } else {
+    handle_invoke_message(*this, msg);
+  }
+}
+
+void Node::push_inbox(Message msg) {
+  std::scoped_lock lk(inbox_mu_);
+  inbox_.push_back(std::move(msg));
+}
+
+bool Node::pop_inbox(Message& out) {
+  std::scoped_lock lk(inbox_mu_);
+  if (inbox_.empty()) return false;
+  out = std::move(inbox_.front());
+  inbox_.pop_front();
+  return true;
+}
+
+std::size_t Node::inbox_size() {
+  std::scoped_lock lk(inbox_mu_);
+  return inbox_.size();
+}
+
+void Node::reply_to(const Continuation& k, const Value& v) {
+  if (!k.valid()) return;  // reactive invocation: nobody wants the value
+  if (k.target.node == id_) {
+    fill_local(k, v);
+  } else {
+    send(Message::reply(id_, k.target.node, k, v));
+  }
+}
+
+void Node::reply_to_multi(const Continuation& k, const Value* vs, std::size_t n) {
+  if (!k.valid()) return;
+  if (k.target.node == id_) {
+    for (std::size_t i = 0; i < n; ++i) {
+      Continuation ki = k;
+      ki.slot = static_cast<SlotId>(k.slot + i);
+      fill_local(ki, vs[i]);
+    }
+  } else {
+    Message msg = Message::reply(id_, k.target.node, k, vs[0]);
+    msg.args.assign(vs, vs + n);
+    send(std::move(msg));
+  }
+}
+
+void Node::fill_local(const Continuation& k, const Value& v) {
+  CONCERT_CHECK(k.target.node == id_, "fill_local for remote continuation " << k);
+  Context& ctx = arena_.resolve(k.target);
+  charge(costs().reply_store);
+  if (!futures_in_context()) {
+    // Ablation A2: futures allocated apart from the context cost one more
+    // indirection on every delivery and every touch (the StackThreads layout).
+    charge(2);
+  }
+  const bool released = ctx.fill(k.slot, v);
+  if (released && ctx.status == ContextStatus::Waiting) {
+    resume(ctx);
+  }
+}
+
+bool Node::local_and_unlocked(const GlobalRef& ref) {
+  if (mode() != ExecMode::SeqOpt) {
+    charge(costs().name_translation + costs().locality_check);
+  }
+  if (!ref.valid()) return true;  // pure-function invocation: no object, no lock
+  if (ref.node != id_) return false;
+  if (objects_.is_forwarded(ref)) return false;  // migrated away: re-route
+  if (mode() != ExecMode::SeqOpt) charge(costs().lock_check);
+  return !objects_.locked(ref);
+}
+
+}  // namespace concert

@@ -1,0 +1,129 @@
+// A node of the multicomputer: local clock, context arena, scheduler ready
+// queue, message inbox, object table, and the reply-routing primitive.
+//
+// A node executes one action at a time (handle one message, or run one ready
+// context step); everything that crosses nodes travels as a message. This
+// run-to-completion handler discipline is the CM-5 active-message style the
+// paper's runtime uses, and it is what makes the unwinding protocol safe: a
+// whole stack speculation (including its fallback) finishes before any reply
+// can be processed on the same node.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "core/context.hpp"
+#include "core/inject.hpp"
+#include "core/schema.hpp"
+#include "machine/cost_model.hpp"
+#include "machine/message.hpp"
+#include "machine/trace.hpp"
+#include "objects/object_space.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace concert {
+
+class Machine;
+class MethodRegistry;
+
+class Node {
+ public:
+  Node(NodeId id, Machine& machine);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  Machine& machine() { return machine_; }
+  MethodRegistry& registry();
+  const CostModel& costs() const;
+  ExecMode mode() const;
+  FallbackPolicy fallback_policy() const;
+  bool futures_in_context() const;  ///< Ablation A2 switch.
+
+  // ---- simulated clock ----
+  void charge(std::uint64_t instructions) { clock_ += instructions; }
+  std::uint64_t clock() const { return clock_; }
+  void advance_clock_to(std::uint64_t t) {
+    if (t > clock_) clock_ = t;
+  }
+
+  // ---- contexts ----
+  /// Allocates a context sized from the method's registry entry, charging the
+  /// cost model and counting the allocation.
+  Context& alloc_context(MethodId m);
+  /// Allocates a raw context with an explicit slot count (root and proxies).
+  Context& alloc_context_raw(MethodId m, std::size_t slots);
+  void free_context(Context& ctx);
+  ContextArena& arena() { return arena_; }
+
+  // ---- scheduler ----
+  void enqueue(Context& ctx);
+  /// Suspends a context on its expected futures; if they all filled already
+  /// it is immediately re-enqueued (the "touch found everything" fast case).
+  void suspend(Context& ctx);
+  /// Releases an adoption guard (see Context::add_guard); if that was the
+  /// last outstanding join and the context is Waiting, it becomes runnable.
+  void release_guard(Context& ctx);
+  /// Makes a Waiting context runnable again (counts the resumption and, under
+  /// AlwaysRetrySequential, charges the re-speculation cost).
+  void resume(Context& ctx);
+  bool has_ready() const { return !ready_.empty(); }
+  std::size_t ready_count() const { return ready_.size(); }
+  /// Pops and runs one ready context step. Returns false if the queue was empty.
+  bool run_one();
+
+  // ---- messaging ----
+  /// Charges send overhead + packet costs and hands the message to the
+  /// machine for routing. Works for both engines.
+  void send(Message msg);
+  /// Processes one delivered message (wrapper execution / reply routing).
+  void deliver(Message& msg);
+
+  /// Thread-safe inbox used by the threaded engine (the deterministic engine
+  /// keeps undelivered messages in SimNetwork instead).
+  void push_inbox(Message msg);
+  bool pop_inbox(Message& out);
+  std::size_t inbox_size();
+
+  // ---- reply routing ----
+  /// Delivers `v` to the future named by `k`: a local slot fill, or a Reply
+  /// message if the continuation's context lives on another node.
+  void reply_to(const Continuation& k, const Value& v);
+  /// Multi-value reply: fills `n` consecutive slots starting at `k.slot`,
+  /// with a single message when remote (the paper's "multiple return values"
+  /// extension).
+  void reply_to_multi(const Continuation& k, const Value* vs, std::size_t n);
+  /// Local slot fill (k.target.node must be this node).
+  void fill_local(const Continuation& k, const Value& v);
+
+  // ---- objects ----
+  ObjectSpace& objects() { return objects_; }
+  /// Performs the speculative-inlining checks (name translation + locality +
+  /// lock), charging them unless running SeqOpt. Pure locality answer.
+  bool local_and_unlocked(const GlobalRef& ref);
+
+  // ---- test hooks ----
+  BlockInjector& injector() { return injector_; }
+
+  NodeStats stats;
+  SplitMix64 rng;
+  Tracer tracer;
+
+ private:
+  std::uint32_t arena_gen_of(ContextId id);
+
+  NodeId id_;
+  Machine& machine_;
+  std::uint64_t clock_ = 0;
+  ContextArena arena_;
+  std::deque<ContextId> ready_;  ///< FIFO of ready contexts (by id; gen checked at pop).
+  std::deque<Message> inbox_;
+  std::mutex inbox_mu_;
+  ObjectSpace objects_;
+  BlockInjector injector_;
+};
+
+}  // namespace concert

@@ -1,0 +1,56 @@
+#include "machine/sim_machine.hpp"
+
+namespace concert {
+
+SimMachine::SimMachine(std::size_t nodes, MachineConfig config)
+    : Machine(nodes, config), network_(nodes, config_.costs) {}
+
+void SimMachine::route(Node& from, Message msg) {
+  network_.inject(std::move(msg), from.clock());
+}
+
+void SimMachine::run_until_quiescent() {
+  const std::size_t n = nodes_.size();
+  while (true) {
+    // Pick the enabled action with the smallest timestamp. Message delivery
+    // beats context execution at equal time; node id breaks remaining ties.
+    NodeId best_node = kInvalidNode;
+    std::uint64_t best_t = UINT64_MAX;
+    bool best_is_msg = false;
+
+    for (std::size_t i = 0; i < n; ++i) {
+      Node& nd = *nodes_[i];
+      if (!network_.empty_for(static_cast<NodeId>(i))) {
+        const std::uint64_t t =
+            std::max(nd.clock(), network_.earliest_for(static_cast<NodeId>(i)));
+        if (t < best_t || (t == best_t && !best_is_msg)) {
+          best_t = t;
+          best_node = static_cast<NodeId>(i);
+          best_is_msg = true;
+        }
+      }
+      if (nd.has_ready()) {
+        const std::uint64_t t = nd.clock();
+        if (t < best_t) {
+          best_t = t;
+          best_node = static_cast<NodeId>(i);
+          best_is_msg = false;
+        }
+      }
+    }
+
+    if (best_node == kInvalidNode) break;  // quiescent
+
+    Node& nd = *nodes_[best_node];
+    if (best_is_msg) {
+      Message msg = network_.pop_for(best_node);
+      nd.advance_clock_to(msg.deliver_at);
+      nd.deliver(msg);
+    } else {
+      nd.run_one();
+    }
+    ++actions_;
+  }
+}
+
+}  // namespace concert

@@ -1,0 +1,61 @@
+#include "machine/threaded_machine.hpp"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace concert {
+
+ThreadedMachine::ThreadedMachine(std::size_t nodes, MachineConfig config)
+    : Machine(nodes, config) {}
+
+ThreadedMachine::~ThreadedMachine() = default;
+
+void ThreadedMachine::route(Node& from, Message msg) {
+  (void)from;
+  const NodeId dst = msg.dst;
+  work_created();
+  node(dst).push_inbox(std::move(msg));
+}
+
+void ThreadedMachine::work_retired() {
+  const auto left = outstanding_.fetch_sub(1, std::memory_order_acq_rel) - 1;
+  CONCERT_CHECK(left >= 0, "outstanding-work counter went negative");
+}
+
+void ThreadedMachine::node_loop(NodeId id) {
+  Node& nd = node(id);
+  Message msg;
+  while (true) {
+    if (nd.pop_inbox(msg)) {
+      nd.deliver(msg);
+      work_retired();  // retires the message's own +1
+      continue;
+    }
+    if (nd.run_one()) {
+      work_retired();  // retires the dequeued context's enqueue +1
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) break;
+    std::this_thread::yield();
+  }
+}
+
+void ThreadedMachine::run_until_quiescent() {
+  stop_.store(false, std::memory_order_release);
+  std::vector<std::thread> threads;
+  threads.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    threads.emplace_back([this, i] { node_loop(static_cast<NodeId>(i)); });
+  }
+  // The counter only reaches zero when no message is queued, no context is
+  // ready, and no action is mid-flight (every action holds its own +1 until
+  // its products are counted), so a zero reading is a stable quiescence.
+  while (outstanding_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  stop_.store(true, std::memory_order_release);
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace concert

@@ -1,0 +1,43 @@
+// Real-thread engine: one std::thread per node.
+//
+// Messages go straight into the destination node's mutex-protected inbox.
+// Quiescence is detected with a global outstanding-work counter: every
+// message send and every context enqueue increments it; finishing the
+// corresponding action decrements it. Because an action's products are
+// counted before the action itself is retired, the counter can only reach
+// zero when the system is truly idle (the standard Dijkstra-Scholten
+// argument, flattened onto a shared atomic since we have shared memory).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+#include "machine/machine.hpp"
+
+namespace concert {
+
+class ThreadedMachine final : public Machine {
+ public:
+  ThreadedMachine(std::size_t nodes, MachineConfig config);
+  ~ThreadedMachine() override;
+
+  void route(Node& from, Message msg) override;
+  void run_until_quiescent() override;
+
+  void on_work_created() override { work_created(); }
+
+  /// Work accounting, called by the shared runtime via Machine hooks.
+  void work_created() { outstanding_.fetch_add(1, std::memory_order_acq_rel); }
+  void work_retired();
+
+ private:
+  void node_loop(NodeId id);
+
+  std::atomic<std::int64_t> outstanding_{0};
+  std::atomic<bool> stop_{false};
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;
+};
+
+}  // namespace concert

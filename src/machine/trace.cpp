@@ -1,0 +1,69 @@
+#include "machine/trace.hpp"
+
+#include <ostream>
+
+#include "machine/machine.hpp"
+
+namespace concert {
+
+const char* trace_kind_name(TraceKind k) {
+  switch (k) {
+    case TraceKind::MsgSend: return "msg_send";
+    case TraceKind::MsgRecv: return "msg_recv";
+    case TraceKind::DispatchBegin: return "dispatch";
+    case TraceKind::DispatchEnd: return "dispatch_end";
+    case TraceKind::Suspend: return "suspend";
+    case TraceKind::Resume: return "resume";
+    case TraceKind::StackRun: return "stack_run";
+  }
+  return "?";
+}
+
+void write_chrome_trace(const Machine& machine, std::ostream& os) {
+  const double us_per_insn = 1e6 / machine.costs().clock_hz;
+  os << "[";
+  bool first = true;
+  auto emit = [&](NodeId node, const char* ph, const char* name, double ts, double dur) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"pid\":0,\"tid\":" << node << ",\"ph\":\"" << ph << "\",\"name\":\"" << name
+       << "\",\"ts\":" << ts;
+    if (dur >= 0) os << ",\"dur\":" << dur;
+    if (ph[0] == 'i') os << ",\"s\":\"t\"";
+    os << "}";
+  };
+
+  for (NodeId nid = 0; nid < machine.node_count(); ++nid) {
+    const auto& recs = machine.node(nid).tracer.records();
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      const TraceRecord& r = recs[i];
+      const char* mname = r.method == kInvalidMethod
+                              ? "(root)"
+                              : machine.registry().info(r.method).name.c_str();
+      const double ts = static_cast<double>(r.clock) * us_per_insn;
+      switch (r.kind) {
+        case TraceKind::DispatchBegin: {
+          // Pair with the matching DispatchEnd (same method, dispatches
+          // cannot nest within one node).
+          double dur = 0;
+          for (std::size_t j = i + 1; j < recs.size(); ++j) {
+            if (recs[j].kind == TraceKind::DispatchEnd && recs[j].method == r.method) {
+              dur = static_cast<double>(recs[j].clock) * us_per_insn - ts;
+              break;
+            }
+          }
+          emit(nid, "X", mname, ts, dur);
+          break;
+        }
+        case TraceKind::DispatchEnd:
+          break;  // consumed by its begin
+        default:
+          emit(nid, "i", trace_kind_name(r.kind), ts, -1);
+          break;
+      }
+    }
+  }
+  os << "\n]\n";
+}
+
+}  // namespace concert

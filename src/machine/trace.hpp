@@ -1,0 +1,63 @@
+// Execution tracing: per-node event streams in simulated time, exportable to
+// the Chrome trace-event format (chrome://tracing, Perfetto).
+//
+// Tracing is off by default (MachineConfig::trace) and costs nothing when
+// disabled. When enabled, the runtime records scheduler-level events —
+// message send/receive, context dispatch begin/end, suspension, resumption —
+// timestamped with the node's simulated clock, so the resulting timeline
+// shows exactly how the hybrid model interleaved stack execution, heap
+// contexts and communication across the machine.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "core/ids.hpp"
+
+namespace concert {
+
+enum class TraceKind : std::uint8_t {
+  MsgSend,
+  MsgRecv,
+  DispatchBegin,  ///< a heap context starts a parallel-version step
+  DispatchEnd,
+  Suspend,
+  Resume,
+  StackRun,  ///< a wrapper executed a method on the handler stack
+};
+
+const char* trace_kind_name(TraceKind k);
+
+struct TraceRecord {
+  std::uint64_t clock;  ///< node-local simulated instruction count
+  TraceKind kind;
+  MethodId method;  ///< kInvalidMethod where not applicable
+};
+
+/// Per-node recorder. Appending is O(1); memory is the only cost.
+class Tracer {
+ public:
+  void enable() { enabled_ = true; }
+  bool enabled() const { return enabled_; }
+
+  void record(std::uint64_t clock, TraceKind kind, MethodId method) {
+    if (enabled_) records_.push_back(TraceRecord{clock, kind, method});
+  }
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  void clear() { records_.clear(); }
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceRecord> records_;
+};
+
+class Machine;
+
+/// Writes all nodes' traces as a Chrome trace-event JSON document. Dispatch
+/// begin/end pairs become duration events; everything else becomes instants.
+/// Timestamps are simulated microseconds (clock / MHz).
+void write_chrome_trace(const Machine& machine, std::ostream& os);
+
+}  // namespace concert

@@ -1,0 +1,114 @@
+#include "objects/distribution.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/panic.hpp"
+
+namespace concert {
+
+namespace dist {
+
+NodeId block_owner(std::size_t index, std::size_t count, std::size_t nodes) {
+  CONCERT_CHECK(nodes > 0 && index < count, "bad block_owner query");
+  const std::size_t per = (count + nodes - 1) / nodes;
+  return static_cast<NodeId>(index / per);
+}
+
+NodeId cyclic_owner(std::size_t index, std::size_t nodes) {
+  CONCERT_CHECK(nodes > 0, "bad cyclic_owner query");
+  return static_cast<NodeId>(index % nodes);
+}
+
+NodeId block_cyclic_owner(std::size_t index, std::size_t block, std::size_t nodes) {
+  CONCERT_CHECK(nodes > 0 && block > 0, "bad block_cyclic_owner query");
+  return static_cast<NodeId>((index / block) % nodes);
+}
+
+std::vector<NodeId> random_owners(std::size_t count, std::size_t nodes, std::uint64_t seed) {
+  CONCERT_CHECK(nodes > 0, "bad random_owners query");
+  SplitMix64 rng(seed);
+  std::vector<NodeId> owners(count);
+  for (auto& o : owners) o = static_cast<NodeId>(rng.uniform(nodes));
+  return owners;
+}
+
+}  // namespace dist
+
+double BlockCyclic2D::local_fraction() const {
+  // Each interior cell makes 4 neighbor accesses; an access is remote exactly
+  // when it crosses a tile boundary (adjacent tiles always belong to
+  // different nodes when p > 1). Count local accesses over the whole grid.
+  if (p == 1) return 1.0;
+  std::uint64_t local = 0, total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const NodeId me = owner(i, j);
+      const std::size_t ni[4] = {i - 1, i + 1, i, i};
+      const std::size_t nj[4] = {j, j, j - 1, j + 1};
+      for (int d = 0; d < 4; ++d) {
+        if (ni[d] >= n || nj[d] >= n) continue;  // off the grid (size_t wraps)
+        ++total;
+        if (owner(ni[d], nj[d]) == me) ++local;
+      }
+    }
+  }
+  return total == 0 ? 1.0 : static_cast<double>(local) / static_cast<double>(total);
+}
+
+namespace {
+
+void orb_split(const std::vector<Point3>& points, std::vector<std::uint32_t>& idx,
+               std::size_t lo, std::size_t hi, std::size_t node_lo, std::size_t node_hi,
+               std::vector<NodeId>& owners) {
+  const std::size_t nodes = node_hi - node_lo;
+  if (nodes <= 1) {
+    for (std::size_t k = lo; k < hi; ++k) owners[idx[k]] = static_cast<NodeId>(node_lo);
+    return;
+  }
+  // Widest dimension of the bounding box.
+  double mn[3] = {1e300, 1e300, 1e300}, mx[3] = {-1e300, -1e300, -1e300};
+  for (std::size_t k = lo; k < hi; ++k) {
+    const Point3& p = points[idx[k]];
+    const double c[3] = {p.x, p.y, p.z};
+    for (int d = 0; d < 3; ++d) {
+      mn[d] = std::min(mn[d], c[d]);
+      mx[d] = std::max(mx[d], c[d]);
+    }
+  }
+  int dim = 0;
+  for (int d = 1; d < 3; ++d) {
+    if (mx[d] - mn[d] > mx[dim] - mn[dim]) dim = d;
+  }
+
+  // Split points proportionally to the node split (handles non-power-of-two).
+  const std::size_t left_nodes = nodes / 2;
+  const std::size_t cut =
+      lo + (hi - lo) * left_nodes / nodes;
+  auto coord = [&](std::uint32_t i) {
+    const Point3& p = points[i];
+    return dim == 0 ? p.x : dim == 1 ? p.y : p.z;
+  };
+  std::nth_element(idx.begin() + static_cast<std::ptrdiff_t>(lo),
+                   idx.begin() + static_cast<std::ptrdiff_t>(cut),
+                   idx.begin() + static_cast<std::ptrdiff_t>(hi),
+                   [&](std::uint32_t a, std::uint32_t b) {
+                     const double ca = coord(a), cb = coord(b);
+                     return ca != cb ? ca < cb : a < b;  // deterministic ties
+                   });
+  orb_split(points, idx, lo, cut, node_lo, node_lo + left_nodes, owners);
+  orb_split(points, idx, cut, hi, node_lo + left_nodes, node_hi, owners);
+}
+
+}  // namespace
+
+std::vector<NodeId> orb_owners(const std::vector<Point3>& points, std::size_t nodes) {
+  CONCERT_CHECK(nodes > 0, "orb_owners needs nodes > 0");
+  std::vector<std::uint32_t> idx(points.size());
+  std::iota(idx.begin(), idx.end(), 0u);
+  std::vector<NodeId> owners(points.size(), 0);
+  orb_split(points, idx, 0, points.size(), 0, nodes, owners);
+  return owners;
+}
+
+}  // namespace concert

@@ -1,0 +1,65 @@
+// Data layouts: who owns which object (paper Sec. 4's experimental knob).
+//
+// The evaluation sweeps data locality by changing the layout: block-cyclic
+// with varying block sizes for SOR (Table 4), uniform-random vs orthogonal
+// recursive bisection for MD-Force (Table 5), and random vs clustered
+// placement for EM3D (Table 6). These are pure placement functions — the
+// hybrid runtime adapts to whatever they produce, which is the paper's thesis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "support/rng.hpp"
+
+namespace concert {
+
+/// 1-D layouts over `count` objects on `nodes` nodes.
+namespace dist {
+
+/// Contiguous blocks of ceil(count/nodes).
+NodeId block_owner(std::size_t index, std::size_t count, std::size_t nodes);
+
+/// Round-robin.
+NodeId cyclic_owner(std::size_t index, std::size_t nodes);
+
+/// Blocks of `block` dealt round-robin.
+NodeId block_cyclic_owner(std::size_t index, std::size_t block, std::size_t nodes);
+
+/// Seeded uniform placement for all `count` objects at once.
+std::vector<NodeId> random_owners(std::size_t count, std::size_t nodes, std::uint64_t seed);
+
+}  // namespace dist
+
+/// 2-D block-cyclic distribution of an n x n grid over a p x p node grid —
+/// the SOR experiment's layout. Block size b means b x b tiles dealt
+/// cyclically in both dimensions.
+struct BlockCyclic2D {
+  std::size_t n;      ///< Grid edge length.
+  std::size_t p;      ///< Node-grid edge length (p*p nodes).
+  std::size_t block;  ///< Tile edge length.
+
+  NodeId owner(std::size_t i, std::size_t j) const {
+    const std::size_t bi = (i / block) % p;
+    const std::size_t bj = (j / block) % p;
+    return static_cast<NodeId>(bi * p + bj);
+  }
+
+  /// Fraction of 5-point-stencil neighbor accesses that stay on-node — the
+  /// "Local vs Remote" column of Table 4, computed exactly from geometry.
+  double local_fraction() const;
+};
+
+/// A 3-D point for spatial distributions.
+struct Point3 {
+  double x, y, z;
+};
+
+/// Orthogonal recursive bisection: recursively split the point set along the
+/// widest dimension at the median until one part per node remains. Groups
+/// spatially proximate points on the same node — the MD-Force "spatial"
+/// layout. `nodes` may be any positive count (splits are proportional).
+std::vector<NodeId> orb_owners(const std::vector<Point3>& points, std::size_t nodes);
+
+}  // namespace concert

@@ -1,0 +1,52 @@
+// Object migration — the paper's stated future-work direction ("we are
+// currently working on automating data layout, migration ...").
+//
+// migrate_object moves an application object to another node: the data is
+// copied into the destination's object space and the old name becomes a
+// forwarding record. Stale names keep working forever:
+//
+//   * a *local* stale name is resolved before any stack speculation (the
+//     locality check reports "not local", and the dispatch path follows the
+//     forwarding chain hop by hop);
+//   * a *remote* stale name routes the invocation message to the old home,
+//     whose wrapper chases the forward and re-sends — the same transparent
+//     re-routing used for seed messages.
+//
+// The hybrid model then adapts by itself: invocations on the object's new
+// neighbors become stack calls, and old neighbors fall back to messaging —
+// no application change required.
+//
+// Restrictions (checked): the object must be currently unlocked and must not
+// be migrated onto itself. Migration is a node-local action on the owner; in
+// the threaded engine call it from a method running on the owner (or between
+// runs), like any other object mutation.
+#pragma once
+
+#include "machine/machine.hpp"
+#include "objects/object_space.hpp"
+
+namespace concert {
+
+/// Moves the T object named `from` to node `dst`. Returns its new name.
+template <typename T>
+GlobalRef migrate_object(Machine& machine, const GlobalRef& from, NodeId dst) {
+  CONCERT_CHECK(from.valid(), "migrate of invalid ref");
+  ObjectSpace& src_space = machine.node(from.node).objects();
+  CONCERT_CHECK(!src_space.is_forwarded(from), "migrate of already-forwarded name");
+  CONCERT_CHECK(!src_space.locked(from), "migrate of locked object");
+  const std::uint32_t type = src_space.type_of(from);
+
+  T& obj = src_space.get<T>(from);
+  auto [to, copy] = machine.node(dst).objects().create<T>(type, std::move(obj));
+  (void)copy;
+  src_space.mark_forwarded(from, to);
+
+  // Model the transfer: the owner marshals the object onto the wire.
+  machine.node(from.node).charge(machine.costs().msg_send_overhead +
+                                 machine.costs().per_packet *
+                                     machine.costs().packets(sizeof(T)));
+  machine.node(dst).charge(machine.costs().msg_recv_overhead);
+  return to;
+}
+
+}  // namespace concert

@@ -1,0 +1,3 @@
+// ObjectSpace is header-only; this translation unit exists so the header is
+// compiled standalone (catching missing includes) as part of the library.
+#include "objects/object_space.hpp"

@@ -1,0 +1,121 @@
+// Per-node object table: the runtime's half of the global name space.
+//
+// A GlobalRef names (home node, index); the home node's ObjectSpace maps the
+// index to the object's local address, its type, and its lock bit. Name
+// translation, locality checks and lock checks — the parallelization overheads
+// Table 3 isolates — happen against this table. Locking is the programming
+// model's *implicit* per-object mutual exclusion: the runtime refuses to
+// speculatively inline an invocation on a locked object and diverts it to the
+// scheduler instead (it will run when the lock holder releases).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/global_ref.hpp"
+#include "core/ids.hpp"
+#include "support/panic.hpp"
+
+namespace concert {
+
+class ObjectSpace {
+ public:
+  explicit ObjectSpace(NodeId home) : home_(home) {}
+
+  ObjectSpace(const ObjectSpace&) = delete;
+  ObjectSpace& operator=(const ObjectSpace&) = delete;
+
+  /// Registers an object living at `data` (owned by the application; must
+  /// stay valid for the machine's lifetime). Returns its global name.
+  GlobalRef add(void* data, std::uint32_t type) {
+    records_.push_back(Record{data, type, 0, kNoObject});
+    return GlobalRef{home_, static_cast<std::uint32_t>(records_.size() - 1)};
+  }
+
+  /// Creates an object owned by this node (freed with the machine). Useful
+  /// for runtime-provided objects like barriers.
+  template <typename T, typename... Args>
+  std::pair<GlobalRef, T*> create(std::uint32_t type, Args&&... args) {
+    auto owned = std::make_unique<T>(std::forward<Args>(args)...);
+    T* raw = owned.release();  // ownership moves into owned_
+    owned_.emplace_back(raw, [](void* p) { delete static_cast<T*>(p); });
+    return {add(raw, type), raw};
+  }
+
+  /// Local-address translation; the ref must be local and live.
+  template <typename T>
+  T& get(const GlobalRef& ref) {
+    return *static_cast<T*>(address(ref));
+  }
+
+  void* address(const GlobalRef& ref) {
+    CONCERT_CHECK(ref.node == home_, "name translation for remote ref on node " << home_);
+    CONCERT_CHECK(ref.index < records_.size(), "bad object index " << ref.index);
+    return records_[ref.index].data;
+  }
+
+  std::uint32_t type_of(const GlobalRef& ref) const {
+    CONCERT_CHECK(ref.node == home_ && ref.index < records_.size(), "bad object ref");
+    return records_[ref.index].type;
+  }
+
+  // --- migration support (the paper's future-work direction) ---
+  // A migrated object leaves a forwarding record at its old name; invocations
+  // that still use the stale name are transparently re-routed by the wrapper
+  // (possibly through a chain of forwards). The runtime treats forwarded
+  // objects as non-local, so the stack fast path never touches stale data.
+
+  /// Marks `ref` (local) as moved to `to`. The record's data pointer is kept
+  /// so in-flight readers of the *old* copy fail loudly (type poisoned).
+  void mark_forwarded(const GlobalRef& ref, const GlobalRef& to) {
+    CONCERT_CHECK(ref.node == home_ && ref.index < records_.size(), "bad object ref");
+    CONCERT_CHECK(to != ref, "object forwarded to itself");
+    records_[ref.index].forward = to;
+  }
+
+  bool is_forwarded(const GlobalRef& ref) const {
+    CONCERT_CHECK(ref.node == home_ && ref.index < records_.size(), "bad object ref");
+    return records_[ref.index].forward.valid();
+  }
+
+  /// The forwarding address (one hop; chains are followed hop by hop, each
+  /// hop owned by the node that performed that migration).
+  GlobalRef forward_of(const GlobalRef& ref) const {
+    CONCERT_CHECK(is_forwarded(ref), "forward_of on live object");
+    return records_[ref.index].forward;
+  }
+
+  /// Implicit-locking support. Locks are counting so an object's method can
+  /// invoke another method on the same object.
+  bool locked(const GlobalRef& ref) const {
+    CONCERT_CHECK(ref.node == home_ && ref.index < records_.size(), "bad object ref");
+    return records_[ref.index].lock_count > 0;
+  }
+  void lock(const GlobalRef& ref) {
+    CONCERT_CHECK(ref.node == home_ && ref.index < records_.size(), "bad object ref");
+    ++records_[ref.index].lock_count;
+  }
+  void unlock(const GlobalRef& ref) {
+    CONCERT_CHECK(ref.node == home_ && ref.index < records_.size(), "bad object ref");
+    CONCERT_CHECK(records_[ref.index].lock_count > 0, "unlock of unlocked object");
+    --records_[ref.index].lock_count;
+  }
+
+  std::size_t count() const { return records_.size(); }
+  NodeId home() const { return home_; }
+
+ private:
+  struct Record {
+    void* data;
+    std::uint32_t type;
+    std::uint32_t lock_count;
+    GlobalRef forward;  ///< valid => the object moved there.
+  };
+  std::vector<Record> records_;
+  std::vector<std::unique_ptr<void, void (*)(void*)>> owned_;
+  NodeId home_;
+};
+
+}  // namespace concert

@@ -1,0 +1,42 @@
+// Deterministic, seedable PRNG used everywhere randomness is needed.
+//
+// The simulator must be bit-reproducible across runs and platforms, so we use
+// our own splitmix64 rather than std:: distributions (whose outputs are not
+// specified portably).
+#pragma once
+
+#include <cstdint>
+
+namespace concert {
+
+/// splitmix64: tiny, fast, and good enough for workload generation and
+/// blocking-injection decisions. Not cryptographic.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : state_(seed) {}
+
+  /// Next 64 random bits.
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  std::uint64_t uniform(std::uint64_t n) { return next() % n; }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// Bernoulli(p).
+  bool chance(double p) { return next_double() < p; }
+
+  /// Re-seed in place.
+  void seed(std::uint64_t s) { state_ = s; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace concert

@@ -1,0 +1,54 @@
+#include "support/stats.hpp"
+
+#include <sstream>
+
+namespace concert {
+
+NodeStats& NodeStats::operator+=(const NodeStats& o) {
+  stack_calls += o.stack_calls;
+  stack_completions += o.stack_completions;
+  fallbacks += o.fallbacks;
+  heap_invokes += o.heap_invokes;
+  local_invokes += o.local_invokes;
+  remote_invokes += o.remote_invokes;
+  contexts_allocated += o.contexts_allocated;
+  contexts_freed += o.contexts_freed;
+  suspensions += o.suspensions;
+  resumptions += o.resumptions;
+  proxy_contexts += o.proxy_contexts;
+  continuations_created += o.continuations_created;
+  continuations_forwarded += o.continuations_forwarded;
+  msgs_sent += o.msgs_sent;
+  msgs_received += o.msgs_received;
+  bytes_sent += o.bytes_sent;
+  replies_sent += o.replies_sent;
+  return *this;
+}
+
+std::string NodeStats::summary() const {
+  std::ostringstream os;
+  os << "invocations: stack=" << stack_calls << " (completed " << stack_completions
+     << ", fell back " << fallbacks << "), heap=" << heap_invokes << ", local=" << local_invokes
+     << ", remote=" << remote_invokes << "\n"
+     << "contexts: alloc=" << contexts_allocated << " free=" << contexts_freed
+     << " suspend=" << suspensions << " resume=" << resumptions << " proxy=" << proxy_contexts
+     << "\n"
+     << "continuations: created=" << continuations_created << " forwarded="
+     << continuations_forwarded << "\n"
+     << "messages: sent=" << msgs_sent << " recv=" << msgs_received << " bytes=" << bytes_sent
+     << " replies=" << replies_sent << "\n";
+  return os.str();
+}
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  sum_ += x;
+  ++n_;
+}
+
+}  // namespace concert

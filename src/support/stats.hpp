@@ -1,0 +1,65 @@
+// Runtime event counters and simple summary statistics.
+//
+// Every node keeps a `NodeStats`; benchmark harnesses aggregate them to report
+// the quantities the paper's tables sweep (local vs remote invocation ratios,
+// heap contexts created, fallbacks taken, messages sent, ...). Figure 9's
+// "contexts only on the block perimeter" claim is checked from these counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace concert {
+
+/// Per-node counters for runtime events. Plain aggregates so they can be
+/// summed across nodes with operator+=.
+struct NodeStats {
+  // Invocation mix.
+  std::uint64_t stack_calls = 0;       ///< Sequential invocations begun on the stack.
+  std::uint64_t stack_completions = 0; ///< ... of which ran to completion on the stack.
+  std::uint64_t fallbacks = 0;         ///< Stack invocations that unwound into the heap.
+  std::uint64_t heap_invokes = 0;      ///< Invocations that went straight to a heap context.
+  std::uint64_t local_invokes = 0;     ///< Invocations whose target object was local.
+  std::uint64_t remote_invokes = 0;    ///< Invocations whose target object was remote.
+
+  // Context machinery.
+  std::uint64_t contexts_allocated = 0;
+  std::uint64_t contexts_freed = 0;
+  std::uint64_t suspensions = 0;   ///< Context blocked on unsatisfied futures.
+  std::uint64_t resumptions = 0;   ///< Context re-enqueued after its futures filled.
+  std::uint64_t proxy_contexts = 0;
+
+  // Continuations.
+  std::uint64_t continuations_created = 0;
+  std::uint64_t continuations_forwarded = 0;
+
+  // Messaging.
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t replies_sent = 0;
+
+  NodeStats& operator+=(const NodeStats& o);
+
+  /// Multi-line human-readable dump (used by benches with --verbose).
+  std::string summary() const;
+};
+
+/// Streaming min/mean/max accumulator.
+class RunningStat {
+ public:
+  void add(double x);
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace concert

@@ -1,0 +1,46 @@
+// Fixed-width ASCII table printer used by the benchmark harnesses to emit
+// paper-style tables (Tables 2-6 of the SC'95 paper).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace concert {
+
+/// Collects rows of strings and prints them with aligned columns.
+///
+/// Usage:
+///   TablePrinter t({"Block", "Hybrid (s)", "Par-only (s)", "Speedup"});
+///   t.add_row({"8", "1.23", "2.96", "2.4x"});
+///   t.print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Adds a horizontal separator line at this position.
+  void add_separator();
+
+  void print(std::ostream& os) const;
+
+  /// Renders to a string (used by tests).
+  std::string to_string() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  // A row with empty cells vector encodes a separator.
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `prec` digits after the point.
+std::string fmt_double(double v, int prec = 3);
+
+/// Formats a ratio like "2.31x".
+std::string fmt_speedup(double v);
+
+}  // namespace concert

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+#include "core/registry.hpp"
+
+namespace concert {
+namespace {
+
+// Dummy code versions for registry declarations.
+Context* dummy_seq(Node&, Value*, const CallerInfo&, GlobalRef, const Value*, std::size_t) {
+  return nullptr;
+}
+void dummy_par(Node&, Context&) {}
+
+MethodDecl decl(const char* name, bool blocks = false, bool uses_cont = false) {
+  MethodDecl d;
+  d.name = name;
+  d.seq = dummy_seq;
+  d.par = dummy_par;
+  d.blocks_locally = blocks;
+  d.uses_continuation = uses_cont;
+  return d;
+}
+
+TEST(Analysis, PureLeafIsNonBlocking) {
+  MethodRegistry reg;
+  MethodId leaf = reg.declare(decl("leaf"));
+  reg.finalize();
+  EXPECT_EQ(reg.schema(leaf), Schema::NonBlocking);
+  EXPECT_FALSE(reg.info(leaf).may_block);
+}
+
+TEST(Analysis, LocallyBlockingIsMayBlock) {
+  MethodRegistry reg;
+  MethodId m = reg.declare(decl("blocker", /*blocks=*/true));
+  reg.finalize();
+  EXPECT_EQ(reg.schema(m), Schema::MayBlock);
+}
+
+TEST(Analysis, BlockingPropagatesUpCallChain) {
+  MethodRegistry reg;
+  MethodId a = reg.declare(decl("a"));
+  MethodId b = reg.declare(decl("b"));
+  MethodId c = reg.declare(decl("c", /*blocks=*/true));
+  reg.add_callee(a, b);
+  reg.add_callee(b, c);
+  reg.finalize();
+  EXPECT_EQ(reg.schema(a), Schema::MayBlock);
+  EXPECT_EQ(reg.schema(b), Schema::MayBlock);
+  EXPECT_EQ(reg.schema(c), Schema::MayBlock);
+}
+
+TEST(Analysis, NonBlockingSubgraphStaysNonBlocking) {
+  MethodRegistry reg;
+  MethodId top = reg.declare(decl("top", /*blocks=*/true));
+  MethodId helper = reg.declare(decl("helper"));
+  MethodId leaf = reg.declare(decl("leaf"));
+  reg.add_callee(top, helper);
+  reg.add_callee(helper, leaf);
+  reg.finalize();
+  // The callee subgraph is not polluted by its blocking caller.
+  EXPECT_EQ(reg.schema(top), Schema::MayBlock);
+  EXPECT_EQ(reg.schema(helper), Schema::NonBlocking);
+  EXPECT_EQ(reg.schema(leaf), Schema::NonBlocking);
+}
+
+TEST(Analysis, RecursionWithoutBlockingIsNonBlocking) {
+  MethodRegistry reg;
+  MethodId f = reg.declare(decl("f"));
+  reg.add_callee(f, f);
+  reg.finalize();
+  EXPECT_EQ(reg.schema(f), Schema::NonBlocking);
+}
+
+TEST(Analysis, MutualRecursionFixpoint) {
+  MethodRegistry reg;
+  MethodId a = reg.declare(decl("a"));
+  MethodId b = reg.declare(decl("b"));
+  MethodId c = reg.declare(decl("c", /*blocks=*/true));
+  reg.add_callee(a, b);
+  reg.add_callee(b, a);
+  reg.add_callee(b, c);
+  reg.finalize();
+  EXPECT_EQ(reg.schema(a), Schema::MayBlock);
+  EXPECT_EQ(reg.schema(b), Schema::MayBlock);
+}
+
+TEST(Analysis, ContinuationUserIsCP) {
+  MethodRegistry reg;
+  MethodId m = reg.declare(decl("store", false, /*uses_cont=*/true));
+  reg.finalize();
+  EXPECT_EQ(reg.schema(m), Schema::ContinuationPassing);
+  // CP implies its caller must treat it as blocking (it can defer the reply).
+  EXPECT_TRUE(reg.info(m).may_block);
+}
+
+TEST(Analysis, ForwardingMakesBothEndsCP) {
+  MethodRegistry reg;
+  MethodId fwd = reg.declare(decl("fwd"));
+  MethodId tgt = reg.declare(decl("tgt"));
+  reg.add_callee(fwd, tgt, /*forwards=*/true);
+  reg.finalize();
+  EXPECT_EQ(reg.schema(fwd), Schema::ContinuationPassing);
+  EXPECT_EQ(reg.schema(tgt), Schema::ContinuationPassing);
+}
+
+TEST(Analysis, SelfForwardingChainIsCP) {
+  MethodRegistry reg;
+  MethodId chain = reg.declare(decl("chain"));
+  reg.add_callee(chain, chain, /*forwards=*/true);
+  reg.finalize();
+  EXPECT_EQ(reg.schema(chain), Schema::ContinuationPassing);
+}
+
+TEST(Analysis, PlainCallOfCPDoesNotInfectCaller) {
+  MethodRegistry reg;
+  MethodId barrier = reg.declare(decl("barrier", false, /*uses_cont=*/true));
+  MethodId user = reg.declare(decl("user"));
+  reg.add_callee(user, barrier);
+  reg.finalize();
+  EXPECT_EQ(reg.schema(barrier), Schema::ContinuationPassing);
+  // The caller builds a fresh CallerInfo at the call site; it only becomes
+  // MayBlock (the CP callee can defer its reply).
+  EXPECT_EQ(reg.schema(user), Schema::MayBlock);
+}
+
+TEST(Registry, EffectiveSchemaUnderHybrid1) {
+  MethodRegistry reg;
+  MethodId leaf = reg.declare(decl("leaf"));
+  reg.finalize();
+  EXPECT_EQ(reg.effective_schema(leaf, ExecMode::Hybrid3), Schema::NonBlocking);
+  EXPECT_EQ(reg.effective_schema(leaf, ExecMode::Hybrid1), Schema::ContinuationPassing);
+  EXPECT_EQ(reg.effective_schema(leaf, ExecMode::SeqOpt), Schema::NonBlocking);
+}
+
+TEST(Registry, DeclareAfterFinalizeRejected) {
+  MethodRegistry reg;
+  reg.declare(decl("m"));
+  reg.finalize();
+  EXPECT_THROW(reg.declare(decl("late")), ProtocolError);
+  EXPECT_THROW(reg.finalize(), ProtocolError);
+}
+
+TEST(Registry, MissingVersionsRejected) {
+  MethodRegistry reg;
+  MethodDecl d = decl("broken");
+  d.seq = nullptr;
+  EXPECT_THROW(reg.declare(std::move(d)), ProtocolError);
+  MethodDecl d2 = decl("broken2");
+  d2.par = nullptr;
+  EXPECT_THROW(reg.declare(std::move(d2)), ProtocolError);
+}
+
+TEST(Registry, FindByName) {
+  MethodRegistry reg;
+  MethodId a = reg.declare(decl("alpha"));
+  reg.declare(decl("beta"));
+  reg.finalize();
+  EXPECT_EQ(reg.find("alpha"), a);
+  EXPECT_EQ(reg.find("nope"), kInvalidMethod);
+}
+
+}  // namespace
+}  // namespace concert

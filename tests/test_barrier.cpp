@@ -1,0 +1,126 @@
+// Barrier: a user-level synchronization structure built from stored
+// continuations (paper Sec. 3.3).
+#include <gtest/gtest.h>
+
+#include "core/barrier.hpp"
+#include "test_util.hpp"
+
+namespace concert {
+namespace {
+
+using testing::test_config;
+
+struct BarrierWorld {
+  std::unique_ptr<SimMachine> machine;
+  BarrierMethods methods;
+
+  explicit BarrierWorld(std::size_t nodes, ExecMode mode = ExecMode::Hybrid3) {
+    machine = std::make_unique<SimMachine>(nodes, test_config(mode));
+    methods = register_barrier_methods(machine->registry());
+    machine->registry().finalize();
+  }
+
+  /// Issues `count` arrivals (one root future each) spread over the nodes,
+  /// runs to quiescence, returns observed generations.
+  std::vector<std::int64_t> arrive_all(GlobalRef bar, int count) {
+    std::vector<Context*> roots;
+    for (int i = 0; i < count; ++i) {
+      Node& nd = machine->node(static_cast<NodeId>(i % machine->node_count()));
+      Context& root = nd.alloc_context_raw(kInvalidMethod, 1);
+      root.status = ContextStatus::Proxy;
+      root.expect(0);
+      roots.push_back(&root);
+      machine->route(nd, Message::invoke(nd.id(), bar.node, methods.arrive, bar, {},
+                                         {root.ref(), 0, false}));
+    }
+    machine->run_until_quiescent();
+    std::vector<std::int64_t> gens;
+    for (Context* r : roots) {
+      gens.push_back(r->slot_full(0) ? r->get(0).as_i64() : -1);
+      machine->node(r->home).free_context(*r);
+    }
+    return gens;
+  }
+};
+
+TEST(Barrier, SingleArriverReleasesImmediately) {
+  BarrierWorld w(1);
+  const GlobalRef bar = make_barrier(*w.machine, 0, 1);
+  EXPECT_EQ(w.arrive_all(bar, 1), std::vector<std::int64_t>{0});
+}
+
+class BarrierSizes : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(BarrierSizes, AllWaitersSeeSameGeneration) {
+  const auto [nodes, waiters] = GetParam();
+  BarrierWorld w(static_cast<std::size_t>(nodes));
+  const GlobalRef bar = make_barrier(*w.machine, 0, waiters);
+  const auto gens = w.arrive_all(bar, waiters);
+  for (auto g : gens) EXPECT_EQ(g, 0);
+  EXPECT_EQ(w.machine->live_contexts(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BarrierSizes,
+                         ::testing::Values(std::pair{1, 2}, std::pair{1, 8}, std::pair{2, 2},
+                                           std::pair{4, 4}, std::pair{4, 16},
+                                           std::pair{8, 64}));
+
+TEST(Barrier, IncompleteArrivalsDoNotRelease) {
+  BarrierWorld w(2);
+  const GlobalRef bar = make_barrier(*w.machine, 0, 3);
+  // Two arrivals of three: both block. Roots must stay alive until the
+  // release (their futures are held by the barrier's stored continuations).
+  std::vector<Context*> roots;
+  for (int i = 0; i < 3; ++i) {
+    Node& nd = w.machine->node(static_cast<NodeId>(i % 2));
+    Context& root = nd.alloc_context_raw(kInvalidMethod, 1);
+    root.status = ContextStatus::Proxy;
+    root.expect(0);
+    roots.push_back(&root);
+  }
+  auto arrive = [&](int i) {
+    Node& nd = w.machine->node(roots[i]->home);
+    nd.send(Message::invoke(nd.id(), bar.node, w.methods.arrive, bar, {},
+                            {roots[i]->ref(), 0, false}));
+    w.machine->run_until_quiescent();
+  };
+  arrive(0);
+  arrive(1);
+  EXPECT_FALSE(roots[0]->slot_full(0));
+  EXPECT_FALSE(roots[1]->slot_full(0));
+  arrive(2);  // completes the phase: everyone releases
+  for (Context* r : roots) {
+    ASSERT_TRUE(r->slot_full(0));
+    EXPECT_EQ(r->get(0).as_i64(), 0);
+    w.machine->node(r->home).free_context(*r);
+  }
+  EXPECT_EQ(w.machine->live_contexts(), 0u);
+}
+
+TEST(Barrier, ReusableAcrossPhases) {
+  BarrierWorld w(2);
+  const GlobalRef bar = make_barrier(*w.machine, 1, 4);
+  EXPECT_EQ(w.arrive_all(bar, 4), (std::vector<std::int64_t>{0, 0, 0, 0}));
+  EXPECT_EQ(w.arrive_all(bar, 4), (std::vector<std::int64_t>{1, 1, 1, 1}));
+  EXPECT_EQ(w.arrive_all(bar, 4), (std::vector<std::int64_t>{2, 2, 2, 2}));
+}
+
+TEST(Barrier, ParallelOnlyModeWorksToo) {
+  BarrierWorld w(4, ExecMode::ParallelOnly);
+  const GlobalRef bar = make_barrier(*w.machine, 0, 8);
+  const auto gens = w.arrive_all(bar, 8);
+  for (auto g : gens) EXPECT_EQ(g, 0);
+}
+
+TEST(Barrier, ArriveIsCPSchema) {
+  BarrierWorld w(1);
+  EXPECT_EQ(w.machine->registry().schema(w.methods.arrive), Schema::ContinuationPassing);
+}
+
+TEST(Barrier, RejectsNonPositiveCount) {
+  BarrierWorld w(1);
+  EXPECT_THROW(make_barrier(*w.machine, 0, 0), ProtocolError);
+}
+
+}  // namespace
+}  // namespace concert

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "core/context.hpp"
+
+namespace concert {
+namespace {
+
+TEST(ContextArena, AllocInitializes) {
+  ContextArena arena(3);
+  Context& ctx = arena.alloc(7, 4);
+  EXPECT_EQ(ctx.home, 3u);
+  EXPECT_EQ(ctx.method, 7u);
+  EXPECT_EQ(ctx.pc, 0u);
+  EXPECT_EQ(ctx.join, 0u);
+  EXPECT_EQ(ctx.slot_count(), 4u);
+  EXPECT_EQ(ctx.status, ContextStatus::Ready);
+  EXPECT_EQ(arena.live_count(), 1u);
+}
+
+TEST(ContextArena, FreeAndRecycleBumpsGeneration) {
+  ContextArena arena(0);
+  Context& a = arena.alloc(1, 1);
+  const ContextRef ref_a = a.ref();
+  arena.free(a);
+  EXPECT_EQ(arena.live_count(), 0u);
+  Context& b = arena.alloc(2, 1);
+  EXPECT_EQ(b.id, ref_a.id);       // recycled slot
+  EXPECT_NE(b.gen, ref_a.gen);     // new generation
+  EXPECT_EQ(arena.try_resolve(ref_a), nullptr);  // stale ref detected
+  EXPECT_EQ(arena.try_resolve(b.ref()), &b);
+}
+
+TEST(ContextArena, ResolveChecksNodeAndGen) {
+  ContextArena arena(5);
+  Context& ctx = arena.alloc(0, 1);
+  ContextRef wrong_node = ctx.ref();
+  wrong_node.node = 6;
+  EXPECT_THROW(arena.resolve(wrong_node), ProtocolError);
+  ContextRef wrong_gen = ctx.ref();
+  wrong_gen.gen += 1;
+  EXPECT_THROW(arena.resolve(wrong_gen), ProtocolError);
+  EXPECT_EQ(&arena.resolve(ctx.ref()), &ctx);
+}
+
+TEST(ContextArena, DoubleFreeDetected) {
+  ContextArena arena(0);
+  Context& ctx = arena.alloc(0, 0);
+  arena.free(ctx);
+  EXPECT_THROW(arena.free(ctx), ProtocolError);
+}
+
+TEST(Context, ExpectFillJoinAccounting) {
+  ContextArena arena(0);
+  Context& ctx = arena.alloc(0, 3);
+  ctx.expect(0);
+  ctx.expect(2);
+  EXPECT_EQ(ctx.join, 2u);
+  EXPECT_FALSE(ctx.fill(0, Value{1}));
+  EXPECT_TRUE(ctx.fill(2, Value{2}));
+  EXPECT_EQ(ctx.join, 0u);
+  EXPECT_EQ(ctx.get(0).as_i64(), 1);
+  EXPECT_EQ(ctx.get(2).as_i64(), 2);
+}
+
+TEST(Context, DoubleFillDetected) {
+  ContextArena arena(0);
+  Context& ctx = arena.alloc(0, 1);
+  ctx.expect(0);
+  ctx.expect(0);  // re-expecting the same slot is legal (slot reuse)...
+  ctx.fill(0, Value{1});
+  EXPECT_THROW(ctx.fill(0, Value{2}), ProtocolError);  // ...but double fill is not
+}
+
+TEST(Context, FillWithoutExpectDetected) {
+  ContextArena arena(0);
+  Context& ctx = arena.alloc(0, 1);
+  ctx.save(0, Value{5});
+  EXPECT_THROW(ctx.fill(0, Value{6}), ProtocolError);  // full slot
+}
+
+TEST(Context, ReadOfEmptySlotDetected) {
+  ContextArena arena(0);
+  Context& ctx = arena.alloc(0, 2);
+  ctx.expect(1);
+  EXPECT_THROW(ctx.get(1), ProtocolError);
+  EXPECT_FALSE(ctx.slot_full(1));
+}
+
+TEST(Context, SaveDoesNotTouchJoin) {
+  ContextArena arena(0);
+  Context& ctx = arena.alloc(0, 2);
+  ctx.save(0, Value{9});
+  EXPECT_EQ(ctx.join, 0u);
+  EXPECT_EQ(ctx.get(0).as_i64(), 9);
+  ctx.save(0, Value{10});  // overwrite allowed for saved locals
+  EXPECT_EQ(ctx.get(0).as_i64(), 10);
+}
+
+TEST(Context, GuardKeepsJoinPositive) {
+  ContextArena arena(0);
+  Context& ctx = arena.alloc(0, 1);
+  ctx.expect(0);
+  ctx.add_guard();
+  EXPECT_EQ(ctx.join, 2u);
+  EXPECT_FALSE(ctx.fill(0, Value{1}));  // value arrives, guard still held
+  EXPECT_EQ(ctx.join, 1u);
+}
+
+TEST(Context, SlotRangeChecked) {
+  ContextArena arena(0);
+  Context& ctx = arena.alloc(0, 2);
+  EXPECT_THROW(ctx.expect(2), ProtocolError);
+  EXPECT_THROW(ctx.save(9, Value{}), ProtocolError);
+  EXPECT_THROW(ctx.get(5), ProtocolError);
+}
+
+TEST(ContextArena, ManyLiveContexts) {
+  ContextArena arena(0);
+  std::vector<Context*> live;
+  for (int i = 0; i < 100; ++i) live.push_back(&arena.alloc(static_cast<MethodId>(i), 2));
+  EXPECT_EQ(arena.live_count(), 100u);
+  for (Context* c : live) arena.free(*c);
+  EXPECT_EQ(arena.live_count(), 0u);
+  // The pool is fully recycled.
+  Context& again = arena.alloc(0, 1);
+  EXPECT_LT(again.id, 100u);
+}
+
+}  // namespace
+}  // namespace concert

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "objects/distribution.hpp"
+#include "support/rng.hpp"
+
+namespace concert {
+namespace {
+
+TEST(Dist1D, BlockCoversAllNodesBalanced) {
+  const std::size_t count = 103, nodes = 8;
+  std::map<NodeId, int> load;
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeId o = dist::block_owner(i, count, nodes);
+    EXPECT_LT(o, nodes);
+    ++load[o];
+  }
+  for (const auto& [node, n] : load) EXPECT_LE(n, 13);
+  // Block layout is monotone: owners never decrease with index.
+  NodeId prev = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const NodeId o = dist::block_owner(i, count, nodes);
+    EXPECT_GE(o, prev);
+    prev = o;
+  }
+}
+
+TEST(Dist1D, CyclicRoundRobin) {
+  for (std::size_t i = 0; i < 50; ++i) EXPECT_EQ(dist::cyclic_owner(i, 7), i % 7);
+}
+
+TEST(Dist1D, BlockCyclicDealsBlocks) {
+  // block=3, nodes=2: 000 111 000 111 ...
+  for (std::size_t i = 0; i < 24; ++i) {
+    EXPECT_EQ(dist::block_cyclic_owner(i, 3, 2), (i / 3) % 2) << i;
+  }
+}
+
+TEST(Dist1D, BlockCyclicWithBlockOneIsCyclic) {
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(dist::block_cyclic_owner(i, 1, 5), dist::cyclic_owner(i, 5));
+  }
+}
+
+TEST(Dist1D, RandomIsDeterministicAndCovering) {
+  const auto a = dist::random_owners(1000, 16, 42);
+  const auto b = dist::random_owners(1000, 16, 42);
+  EXPECT_EQ(a, b);
+  const auto c = dist::random_owners(1000, 16, 43);
+  EXPECT_NE(a, c);
+  std::map<NodeId, int> load;
+  for (NodeId o : a) {
+    EXPECT_LT(o, 16u);
+    ++load[o];
+  }
+  EXPECT_EQ(load.size(), 16u);  // 1000 draws hit all 16 nodes w.h.p.
+}
+
+class BlockCyclic2DTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BlockCyclic2DTest, OwnerInNodeGridRange) {
+  const BlockCyclic2D d{64, 4, GetParam()};
+  for (std::size_t i = 0; i < d.n; i += 3) {
+    for (std::size_t j = 0; j < d.n; j += 3) {
+      EXPECT_LT(d.owner(i, j), 16u);
+    }
+  }
+}
+
+TEST_P(BlockCyclic2DTest, TilesAreUniformlyOwned) {
+  const std::size_t b = GetParam();
+  const BlockCyclic2D d{64, 4, b};
+  // All cells within one tile share an owner.
+  for (std::size_t ti = 0; ti < 64 / b; ++ti) {
+    for (std::size_t tj = 0; tj < 64 / b; ++tj) {
+      const NodeId o = d.owner(ti * b, tj * b);
+      EXPECT_EQ(d.owner(ti * b + b - 1, tj * b + b - 1), o);
+    }
+  }
+}
+
+TEST_P(BlockCyclic2DTest, LocalFractionGrowsWithBlockSize) {
+  // Invariant checked across the sweep in LocalityMonotone below; here just
+  // bounds.
+  const BlockCyclic2D d{64, 4, GetParam()};
+  const double f = d.local_fraction();
+  EXPECT_GE(f, 0.0);
+  EXPECT_LE(f, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, BlockCyclic2DTest, ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(BlockCyclic2DSweep, LocalityMonotoneInBlockSize) {
+  double prev = -1.0;
+  for (std::size_t b : {1, 2, 4, 8, 16}) {
+    const BlockCyclic2D d{64, 4, b};
+    const double f = d.local_fraction();
+    EXPECT_GT(f, prev) << "block " << b;
+    prev = f;
+  }
+}
+
+TEST(BlockCyclic2DSweep, BlockOneHasZeroLocality) {
+  // Every neighbor of a 1x1 tile lies in a different tile.
+  const BlockCyclic2D d{64, 4, 1};
+  EXPECT_DOUBLE_EQ(d.local_fraction(), 0.0);
+}
+
+TEST(BlockCyclic2DSweep, SingleNodeIsFullyLocal) {
+  const BlockCyclic2D d{32, 1, 4};
+  EXPECT_DOUBLE_EQ(d.local_fraction(), 1.0);
+}
+
+class OrbTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OrbTest, BalancedPartition) {
+  const std::size_t nodes = GetParam();
+  SplitMix64 rng(99);
+  std::vector<Point3> pts(1024);
+  for (auto& p : pts) p = {rng.next_double(), rng.next_double(), rng.next_double()};
+  const auto owners = orb_owners(pts, nodes);
+  std::map<NodeId, int> load;
+  for (NodeId o : owners) {
+    EXPECT_LT(o, nodes);
+    ++load[o];
+  }
+  EXPECT_EQ(load.size(), nodes);
+  const auto [mn, mx] = std::minmax_element(
+      load.begin(), load.end(), [](auto& a, auto& b) { return a.second < b.second; });
+  EXPECT_LE(mx->second - mn->second, static_cast<int>(1024 / nodes))
+      << "load imbalance too high";
+}
+
+INSTANTIATE_TEST_SUITE_P(NodeCounts, OrbTest, ::testing::Values(1, 2, 3, 7, 8, 16, 64));
+
+TEST(Orb, SpatiallyClusteredPointsStayTogether) {
+  // Two tight clusters, two nodes: each cluster must land on one node.
+  std::vector<Point3> pts;
+  SplitMix64 rng(7);
+  for (int i = 0; i < 100; ++i) pts.push_back({rng.next_double() * 0.01, 0.5, 0.5});
+  for (int i = 0; i < 100; ++i) pts.push_back({10.0 + rng.next_double() * 0.01, 0.5, 0.5});
+  const auto owners = orb_owners(pts, 2);
+  for (int i = 1; i < 100; ++i) EXPECT_EQ(owners[i], owners[0]);
+  for (int i = 101; i < 200; ++i) EXPECT_EQ(owners[i], owners[100]);
+  EXPECT_NE(owners[0], owners[100]);
+}
+
+TEST(Orb, DeterministicAcrossCalls) {
+  SplitMix64 rng(3);
+  std::vector<Point3> pts(500);
+  for (auto& p : pts) p = {rng.next_double(), rng.next_double(), rng.next_double()};
+  EXPECT_EQ(orb_owners(pts, 8), orb_owners(pts, 8));
+}
+
+TEST(Orb, SplitsAlongWidestDimension) {
+  // Points spread along z only: the first split must separate low-z from
+  // high-z.
+  std::vector<Point3> pts;
+  for (int i = 0; i < 64; ++i) pts.push_back({0.0, 0.0, static_cast<double>(i)});
+  const auto owners = orb_owners(pts, 2);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(owners[i], owners[0]);
+  for (int i = 32; i < 64; ++i) EXPECT_EQ(owners[i], owners[63]);
+  EXPECT_NE(owners[0], owners[63]);
+}
+
+}  // namespace
+}  // namespace concert

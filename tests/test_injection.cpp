@@ -1,0 +1,178 @@
+// Blocking injection: force the fallback/unwinding machinery on every path
+// and verify results never change — the hybrid model's core safety property.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace concert {
+namespace {
+
+using testing::SeqBenchFixtureState;
+
+TEST(Injection, DisabledByDefault) {
+  BlockInjector inj;
+  EXPECT_FALSE(inj.enabled());
+  EXPECT_FALSE(inj.should_block(0));
+}
+
+TEST(Injection, ScriptedCountsPerMethod) {
+  BlockInjector inj;
+  inj.inject_at(7, 2);  // block the 3rd invocation of method 7
+  EXPECT_FALSE(inj.should_block(7));
+  EXPECT_FALSE(inj.should_block(7));
+  EXPECT_TRUE(inj.should_block(7));
+  EXPECT_FALSE(inj.should_block(7));
+  EXPECT_EQ(inj.triggered(), 1u);
+}
+
+TEST(Injection, ProbabilityIsSeededDeterministic) {
+  BlockInjector a, b;
+  a.set_probability(0.5, 42);
+  b.set_probability(0.5, 42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.should_block(1), b.should_block(1));
+}
+
+// Scripted single fallback at each interesting depth: the stack unwinds from
+// exactly that point and the answer must be unchanged.
+class ScriptedFallback : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScriptedFallback, FibUnwindsCorrectly) {
+  SeqBenchFixtureState f(ExecMode::Hybrid3, 1, /*distributed=*/true);
+  f.machine->node(0).injector().inject_at(f.ids.fib, GetParam());
+  const Value v = f.machine->run_main(0, f.ids.fib, kNoObject, {Value(14)});
+  EXPECT_EQ(v.as_i64(), seqbench::fib_c(14));
+  EXPECT_GE(f.machine->total_stats().fallbacks, 1u);
+  EXPECT_EQ(f.machine->live_contexts(), 0u);
+}
+
+TEST_P(ScriptedFallback, TakUnwindsCorrectly) {
+  SeqBenchFixtureState f(ExecMode::Hybrid3, 1, true);
+  f.machine->node(0).injector().inject_at(f.ids.tak, GetParam());
+  const Value v = f.machine->run_main(0, f.ids.tak, kNoObject, {Value(8), Value(4), Value(1)});
+  EXPECT_EQ(v.as_i64(), seqbench::tak_c(8, 4, 1));
+  EXPECT_EQ(f.machine->live_contexts(), 0u);
+}
+
+TEST_P(ScriptedFallback, NQueensUnwindsCorrectly) {
+  SeqBenchFixtureState f(ExecMode::Hybrid3, 1, true);
+  f.machine->node(0).injector().inject_at(f.ids.nqueens, GetParam());
+  const Value v = f.machine->run_main(
+      0, f.ids.nqueens, kNoObject, {Value(6), Value::u64(0), Value::u64(0), Value::u64(0)});
+  EXPECT_EQ(v.as_i64(), seqbench::nqueens_c(6));
+  EXPECT_EQ(f.machine->live_contexts(), 0u);
+}
+
+TEST_P(ScriptedFallback, ChainMaterializesContinuationMidChain) {
+  SeqBenchFixtureState f(ExecMode::Hybrid3, 1, true);
+  f.machine->node(0).injector().inject_at(f.ids.chain, GetParam());
+  const Value v = f.machine->run_main(0, f.ids.chain, kNoObject, {Value(300)});
+  EXPECT_EQ(v.as_i64(), 42);
+  EXPECT_GE(f.machine->total_stats().continuations_forwarded, 1u);
+  EXPECT_EQ(f.machine->live_contexts(), 0u);
+}
+
+TEST_P(ScriptedFallback, AckUnwindsCorrectly) {
+  SeqBenchFixtureState f(ExecMode::Hybrid3, 1, true);
+  f.machine->node(0).injector().inject_at(f.ids.ack, GetParam());
+  const Value v = f.machine->run_main(0, f.ids.ack, kNoObject, {Value(2), Value(5)});
+  EXPECT_EQ(v.as_i64(), seqbench::ack_c(2, 5));
+  EXPECT_EQ(f.machine->live_contexts(), 0u);
+}
+
+TEST_P(ScriptedFallback, ChebyUnwindsCorrectly) {
+  SeqBenchFixtureState f(ExecMode::Hybrid3, 1, true);
+  f.machine->node(0).injector().inject_at(f.ids.cheby, GetParam());
+  const Value v = f.machine->run_main(0, f.ids.cheby, kNoObject, {Value(12), Value(0.7)});
+  EXPECT_DOUBLE_EQ(v.as_f64(), seqbench::cheby_c(12, 0.7));
+  EXPECT_EQ(f.machine->live_contexts(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, ScriptedFallback,
+                         ::testing::Values(0, 1, 2, 3, 5, 10, 50, 200));
+
+// Random blocking storms at increasing probability, multiple seeds: whatever
+// mixture of stack completion, unwinding, and heap re-execution results, the
+// answers are exact and nothing leaks.
+struct StormParam {
+  double p;
+  std::uint64_t seed;
+};
+
+class FallbackStorm : public ::testing::TestWithParam<StormParam> {};
+
+TEST_P(FallbackStorm, FibStaysExact) {
+  SeqBenchFixtureState f(ExecMode::Hybrid3, 1, true);
+  f.machine->node(0).injector().set_probability(GetParam().p, GetParam().seed);
+  const Value v = f.machine->run_main(0, f.ids.fib, kNoObject, {Value(13)});
+  EXPECT_EQ(v.as_i64(), seqbench::fib_c(13));
+  EXPECT_EQ(f.machine->live_contexts(), 0u);
+}
+
+TEST_P(FallbackStorm, QsortStaysExact) {
+  SeqBenchFixtureState f(ExecMode::Hybrid3, 1, true);
+  f.machine->node(0).injector().set_probability(GetParam().p, GetParam().seed);
+  const GlobalRef arr = seqbench::make_qsort_array(*f.machine, 0, 300, GetParam().seed);
+  f.machine->run_main(0, f.ids.qsort, arr, {Value(0), Value(300)});
+  const auto& vals = seqbench::array_values(*f.machine, arr);
+  EXPECT_TRUE(std::is_sorted(vals.begin(), vals.end()));
+  EXPECT_EQ(f.machine->live_contexts(), 0u);
+}
+
+TEST_P(FallbackStorm, ChainStaysExact) {
+  SeqBenchFixtureState f(ExecMode::Hybrid3, 1, true);
+  f.machine->node(0).injector().set_probability(GetParam().p, GetParam().seed);
+  const Value v = f.machine->run_main(0, f.ids.chain, kNoObject, {Value(100)});
+  EXPECT_EQ(v.as_i64(), 42);
+  EXPECT_EQ(f.machine->live_contexts(), 0u);
+}
+
+TEST_P(FallbackStorm, NQueensStaysExact) {
+  SeqBenchFixtureState f(ExecMode::Hybrid3, 1, true);
+  f.machine->node(0).injector().set_probability(GetParam().p, GetParam().seed);
+  const Value v = f.machine->run_main(
+      0, f.ids.nqueens, kNoObject, {Value(6), Value::u64(0), Value::u64(0), Value::u64(0)});
+  EXPECT_EQ(v.as_i64(), seqbench::nqueens_c(6));
+  EXPECT_EQ(f.machine->live_contexts(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Storms, FallbackStorm,
+                         ::testing::Values(StormParam{0.01, 1}, StormParam{0.05, 2},
+                                           StormParam{0.2, 3}, StormParam{0.5, 4},
+                                           StormParam{0.9, 5}, StormParam{1.0, 6},
+                                           StormParam{0.2, 77}, StormParam{0.5, 123}));
+
+TEST_P(FallbackStorm, AckStaysExact) {
+  SeqBenchFixtureState f(ExecMode::Hybrid3, 1, true);
+  f.machine->node(0).injector().set_probability(GetParam().p, GetParam().seed);
+  const Value v = f.machine->run_main(0, f.ids.ack, kNoObject, {Value(2), Value(4)});
+  EXPECT_EQ(v.as_i64(), seqbench::ack_c(2, 4));
+  EXPECT_EQ(f.machine->live_contexts(), 0u);
+}
+
+TEST(FallbackStormHybrid1, AllProgramsUnderCPOnlyInterface) {
+  SeqBenchFixtureState f(ExecMode::Hybrid1, 1, true);
+  f.machine->node(0).injector().set_probability(0.3, 9);
+  EXPECT_EQ(f.machine->run_main(0, f.ids.fib, kNoObject, {Value(12)}).as_i64(),
+            seqbench::fib_c(12));
+  EXPECT_EQ(
+      f.machine->run_main(0, f.ids.tak, kNoObject, {Value(7), Value(3), Value(1)}).as_i64(),
+      seqbench::tak_c(7, 3, 1));
+  EXPECT_EQ(f.machine->run_main(0, f.ids.chain, kNoObject, {Value(25)}).as_i64(), 42);
+  EXPECT_EQ(f.machine->live_contexts(), 0u);
+}
+
+TEST(FallbackPolicyTest, RevertedContextNeverRetriesStack) {
+  // With RevertToParallel (default), a context that fell back stays in its
+  // parallel version. Count: fallbacks happen, but stack calls don't explode.
+  SeqBenchFixtureState f(ExecMode::Hybrid3, 1, true);
+  f.machine->node(0).injector().set_probability(1.0, 3);
+  f.machine->run_main(0, f.ids.fib, kNoObject, {Value(10)});
+  const NodeStats s = f.machine->total_stats();
+  // p=1.0: every speculation is diverted before the seq body runs, so no
+  // stack call ever completes.
+  EXPECT_EQ(s.stack_completions, 0u);
+  EXPECT_GT(s.heap_invokes, 0u);
+}
+
+}  // namespace
+}  // namespace concert

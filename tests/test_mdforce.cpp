@@ -1,0 +1,178 @@
+// MD-Force kernel: force agreement with the serial reference across layouts,
+// modes, and cache configurations; Newton's-third-law invariant; coordinate
+// cache and force-combining behavior.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "apps/mdforce/mdforce.hpp"
+#include "machine/sim_machine.hpp"
+#include "machine/threaded_machine.hpp"
+
+namespace concert {
+namespace {
+
+struct MdRun {
+  std::unique_ptr<SimMachine> machine;
+  md::Ids ids;
+  md::World world;
+
+  MdRun(const md::Params& p, std::size_t nodes, ExecMode mode,
+        CostModel costs = CostModel::cm5()) {
+    MachineConfig cfg;
+    cfg.mode = mode;
+    cfg.costs = costs;
+    machine = std::make_unique<SimMachine>(nodes, cfg);
+    ids = md::register_md(machine->registry(), p, nodes);
+    machine->registry().finalize();
+    world = md::build(*machine, ids, p);
+  }
+};
+
+void expect_forces_match(const std::vector<md::Vec3>& got, const std::vector<md::Vec3>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    const double scale =
+        1.0 + std::abs(want[i].x) + std::abs(want[i].y) + std::abs(want[i].z);
+    EXPECT_NEAR(got[i].x, want[i].x, 1e-9 * scale) << "atom " << i;
+    EXPECT_NEAR(got[i].y, want[i].y, 1e-9 * scale) << "atom " << i;
+    EXPECT_NEAR(got[i].z, want[i].z, 1e-9 * scale) << "atom " << i;
+  }
+}
+
+struct MdCase {
+  std::size_t atoms;
+  std::size_t nodes;
+  bool spatial;
+  double cache_fraction;
+  ExecMode mode;
+};
+
+class MdModes : public ::testing::TestWithParam<MdCase> {};
+
+TEST_P(MdModes, ForcesMatchReference) {
+  const MdCase c = GetParam();
+  md::Params p;
+  p.atoms = c.atoms;
+  p.spatial = c.spatial;
+  p.cache_fraction = c.cache_fraction;
+  MdRun r(p, c.nodes, c.mode);
+  ASSERT_TRUE(md::run(*r.machine, r.ids, r.world));
+  expect_forces_match(md::extract_forces(*r.machine, r.world), md::reference(p));
+  EXPECT_EQ(r.machine->live_contexts(), 0u);
+  const NodeStats s = r.machine->total_stats();
+  EXPECT_EQ(s.msgs_sent, s.msgs_received);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Layouts, MdModes,
+    ::testing::Values(MdCase{64, 1, true, 1.0, ExecMode::Hybrid3},
+                      MdCase{128, 4, true, 1.0, ExecMode::Hybrid3},
+                      MdCase{128, 4, false, 1.0, ExecMode::Hybrid3},
+                      MdCase{128, 4, true, 1.0, ExecMode::ParallelOnly},
+                      MdCase{128, 4, false, 1.0, ExecMode::ParallelOnly},
+                      MdCase{128, 4, true, 1.0, ExecMode::Hybrid1},
+                      // partial caching: the cache-miss fetch path must kick in
+                      MdCase{128, 4, true, 0.5, ExecMode::Hybrid3},
+                      MdCase{128, 4, false, 0.0, ExecMode::Hybrid3},
+                      MdCase{128, 4, false, 0.5, ExecMode::ParallelOnly},
+                      MdCase{96, 3, true, 0.7, ExecMode::Hybrid3}));
+
+TEST(MdInvariants, ForcesSumToZero) {
+  // Newton's third law: with every pair applied twice with opposite signs,
+  // the total force must vanish (up to accumulation error).
+  md::Params p;
+  p.atoms = 128;
+  MdRun r(p, 4, ExecMode::Hybrid3);
+  ASSERT_TRUE(md::run(*r.machine, r.ids, r.world));
+  const auto f = md::extract_forces(*r.machine, r.world);
+  md::Vec3 total;
+  for (const auto& v : f) {
+    total.x += v.x;
+    total.y += v.y;
+    total.z += v.z;
+  }
+  EXPECT_NEAR(total.x, 0.0, 1e-8);
+  EXPECT_NEAR(total.y, 0.0, 1e-8);
+  EXPECT_NEAR(total.z, 0.0, 1e-8);
+}
+
+TEST(MdLocality, SpatialLayoutHasFewerCrossPairs) {
+  md::Params p;
+  p.atoms = 256;
+  p.spatial = true;
+  md::Params q = p;
+  q.spatial = false;
+  MdRun spatial(p, 8, ExecMode::Hybrid3);
+  MdRun random(q, 8, ExecMode::Hybrid3);
+  EXPECT_LT(spatial.world.cross_pairs * 2, random.world.cross_pairs);
+  EXPECT_EQ(spatial.world.total_pairs, random.world.total_pairs);
+}
+
+TEST(MdLocality, RandomLayoutSendsFarMoreMessages) {
+  md::Params p;
+  p.atoms = 256;
+  p.spatial = true;
+  md::Params q = p;
+  q.spatial = false;
+  MdRun spatial(p, 8, ExecMode::Hybrid3);
+  MdRun random(q, 8, ExecMode::Hybrid3);
+  ASSERT_TRUE(md::run(*spatial.machine, spatial.ids, spatial.world));
+  ASSERT_TRUE(md::run(*random.machine, random.ids, random.world));
+  EXPECT_GT(random.machine->total_stats().msgs_sent,
+            2 * spatial.machine->total_stats().msgs_sent);
+}
+
+TEST(MdHybridWin, HybridBeatsParallelOnlyOnSpatialLayout) {
+  md::Params p;
+  p.atoms = 256;
+  p.spatial = true;
+  MdRun hybrid(p, 4, ExecMode::Hybrid3);
+  MdRun par(p, 4, ExecMode::ParallelOnly);
+  ASSERT_TRUE(md::run(*hybrid.machine, hybrid.ids, hybrid.world));
+  ASSERT_TRUE(md::run(*par.machine, par.ids, par.world));
+  EXPECT_LT(hybrid.machine->max_clock(), par.machine->max_clock());
+}
+
+TEST(MdCacheMiss, UncachedRunStillCorrectAndFetches) {
+  md::Params p;
+  p.atoms = 128;
+  p.spatial = true;
+  p.cache_fraction = 0.0;  // nothing pre-pushed: every cross pair misses
+  MdRun r(p, 4, ExecMode::Hybrid3);
+  ASSERT_TRUE(md::run(*r.machine, r.ids, r.world));
+  expect_forces_match(md::extract_forces(*r.machine, r.world), md::reference(p));
+  if (r.world.cross_pairs > 0) {
+    // Cache misses force pair_force to fall back and fetch coordinates.
+    EXPECT_GT(r.machine->total_stats().fallbacks, r.machine->node_count());
+  }
+}
+
+TEST(MdDeterminism, SameConfigSameClocks) {
+  auto once = [] {
+    md::Params p;
+    p.atoms = 96;
+    MdRun r(p, 3, ExecMode::Hybrid3);
+    md::run(*r.machine, r.ids, r.world);
+    return std::pair{r.machine->actions(), r.machine->max_clock()};
+  };
+  EXPECT_EQ(once(), once());
+}
+
+TEST(MdThreaded, ThreadedEngineMatchesReference) {
+  md::Params p;
+  p.atoms = 128;
+  MachineConfig cfg;
+  cfg.mode = ExecMode::Hybrid3;
+  ThreadedMachine m(4, cfg);
+  auto ids = md::register_md(m.registry(), p, 4);
+  m.registry().finalize();
+  auto world = md::build(m, ids, p);
+  ASSERT_TRUE(md::run(m, ids, world));
+  expect_forces_match(md::extract_forces(m, world), md::reference(p));
+  EXPECT_EQ(m.live_contexts(), 0u);
+}
+
+}  // namespace
+}  // namespace concert

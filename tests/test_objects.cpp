@@ -1,0 +1,114 @@
+// ObjectSpace unit tests: registration, typed access, counting locks,
+// owned-object lifetime, forwarding records.
+#include <gtest/gtest.h>
+
+#include "machine/sim_machine.hpp"
+#include "objects/object_space.hpp"
+#include "test_util.hpp"
+
+namespace concert {
+namespace {
+
+TEST(ObjectSpaceTest, AddAndTranslate) {
+  ObjectSpace space(2);
+  int x = 41;
+  const GlobalRef ref = space.add(&x, 7);
+  EXPECT_EQ(ref.node, 2u);
+  EXPECT_EQ(space.count(), 1u);
+  EXPECT_EQ(space.type_of(ref), 7u);
+  space.get<int>(ref) += 1;
+  EXPECT_EQ(x, 42);
+}
+
+TEST(ObjectSpaceTest, SequentialIndices) {
+  ObjectSpace space(0);
+  int a = 0, b = 0;
+  EXPECT_EQ(space.add(&a, 0).index, 0u);
+  EXPECT_EQ(space.add(&b, 0).index, 1u);
+}
+
+TEST(ObjectSpaceTest, RemoteTranslationRejected) {
+  ObjectSpace space(1);
+  int x = 0;
+  GlobalRef ref = space.add(&x, 0);
+  ref.node = 0;
+  EXPECT_THROW(space.address(ref), ProtocolError);
+  GlobalRef bad{1, 99};
+  EXPECT_THROW(space.address(bad), ProtocolError);
+}
+
+TEST(ObjectSpaceTest, CountingLocks) {
+  ObjectSpace space(0);
+  int x = 0;
+  const GlobalRef ref = space.add(&x, 0);
+  EXPECT_FALSE(space.locked(ref));
+  space.lock(ref);
+  space.lock(ref);  // re-entrant: same object's method calling itself
+  EXPECT_TRUE(space.locked(ref));
+  space.unlock(ref);
+  EXPECT_TRUE(space.locked(ref));
+  space.unlock(ref);
+  EXPECT_FALSE(space.locked(ref));
+  EXPECT_THROW(space.unlock(ref), ProtocolError);
+}
+
+TEST(ObjectSpaceTest, CreateOwnsObject) {
+  ObjectSpace space(0);
+  auto [ref, vec] = space.create<std::vector<int>>(3, std::vector<int>{1, 2, 3});
+  EXPECT_EQ(space.get<std::vector<int>>(ref).size(), 3u);
+  EXPECT_EQ(vec->at(2), 3);
+  // Destruction of `space` must free it (run under ASan to verify leaks).
+}
+
+TEST(ObjectSpaceTest, ForwardingRecords) {
+  ObjectSpace space(0);
+  int x = 0;
+  const GlobalRef ref = space.add(&x, 0);
+  EXPECT_FALSE(space.is_forwarded(ref));
+  EXPECT_THROW(space.forward_of(ref), ProtocolError);
+  space.mark_forwarded(ref, GlobalRef{1, 5});
+  EXPECT_TRUE(space.is_forwarded(ref));
+  EXPECT_EQ(space.forward_of(ref), (GlobalRef{1, 5}));
+  EXPECT_THROW(space.mark_forwarded(ref, ref), ProtocolError);  // self-forward via same ref
+}
+
+TEST(ObjectSpaceTest, ForwardToSelfRejected) {
+  ObjectSpace space(0);
+  int x = 0;
+  const GlobalRef ref = space.add(&x, 0);
+  EXPECT_THROW(space.mark_forwarded(ref, ref), ProtocolError);
+}
+
+TEST(NodeLocality, SeqOptSkipsCheckCharges) {
+  using testing::test_config;
+  SimMachine seqopt(1, test_config(ExecMode::SeqOpt));
+  SimMachine hybrid(1, test_config(ExecMode::Hybrid3));
+  int x = 0;
+  const GlobalRef a = seqopt.node(0).objects().add(&x, 0);
+  const GlobalRef b = hybrid.node(0).objects().add(&x, 0);
+  seqopt.node(0).local_and_unlocked(a);
+  hybrid.node(0).local_and_unlocked(b);
+  EXPECT_EQ(seqopt.node(0).clock(), 0u);
+  EXPECT_GT(hybrid.node(0).clock(), 0u);
+}
+
+TEST(NodeLocality, InvalidRefIsLocal) {
+  using testing::test_config;
+  SimMachine m(2, test_config());
+  EXPECT_TRUE(m.node(0).local_and_unlocked(kNoObject));
+}
+
+TEST(NodeLocality, RemoteAndForwardedAreNotRunnable) {
+  using testing::test_config;
+  SimMachine m(2, test_config());
+  int x = 0;
+  const GlobalRef remote = m.node(1).objects().add(&x, 0);
+  EXPECT_FALSE(m.node(0).local_and_unlocked(remote));
+  const GlobalRef local = m.node(0).objects().add(&x, 0);
+  EXPECT_TRUE(m.node(0).local_and_unlocked(local));
+  m.node(0).objects().mark_forwarded(local, remote);
+  EXPECT_FALSE(m.node(0).local_and_unlocked(local));
+}
+
+}  // namespace
+}  // namespace concert

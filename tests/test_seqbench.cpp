@@ -1,0 +1,162 @@
+// End-to-end correctness of the Table 3 programs across execution modes,
+// node counts, and engines — each program's result must match its plain C++
+// reference no matter how the hybrid model executed it.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace concert {
+namespace {
+
+using seqbench::Ids;
+using testing::SeqBenchFixtureState;
+using testing::test_config;
+
+struct ModeParam {
+  ExecMode mode;
+  bool distributed;
+};
+
+std::string mode_name(const ::testing::TestParamInfo<ModeParam>& info) {
+  std::string s = exec_mode_name(info.param.mode);
+  for (auto& c : s) {
+    if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return s + (info.param.distributed ? "_dist" : "_local");
+}
+
+class SeqBenchModes : public ::testing::TestWithParam<ModeParam> {};
+
+TEST_P(SeqBenchModes, FibMatchesReference) {
+  SeqBenchFixtureState f(GetParam().mode, 1, GetParam().distributed);
+  const Value v = f.machine->run_main(0, f.ids.fib, kNoObject, {Value(15)});
+  EXPECT_EQ(v.as_i64(), seqbench::fib_c(15));
+  EXPECT_EQ(f.machine->live_contexts(), 0u) << "leaked activation frames";
+}
+
+TEST_P(SeqBenchModes, TakMatchesReference) {
+  SeqBenchFixtureState f(GetParam().mode, 1, GetParam().distributed);
+  const Value v =
+      f.machine->run_main(0, f.ids.tak, kNoObject, {Value(10), Value(5), Value(3)});
+  EXPECT_EQ(v.as_i64(), seqbench::tak_c(10, 5, 3));
+  EXPECT_EQ(f.machine->live_contexts(), 0u);
+}
+
+TEST_P(SeqBenchModes, NQueensMatchesReference) {
+  SeqBenchFixtureState f(GetParam().mode, 1, GetParam().distributed);
+  const Value v = f.machine->run_main(
+      0, f.ids.nqueens, kNoObject,
+      {Value(6), Value::u64(0), Value::u64(0), Value::u64(0)});
+  EXPECT_EQ(v.as_i64(), seqbench::nqueens_c(6));
+  EXPECT_EQ(f.machine->live_contexts(), 0u);
+}
+
+TEST_P(SeqBenchModes, QsortSortsAndCounts) {
+  SeqBenchFixtureState f(GetParam().mode, 1, GetParam().distributed);
+  const GlobalRef arr = seqbench::make_qsort_array(*f.machine, 0, 512, 2024);
+  const Value v =
+      f.machine->run_main(0, f.ids.qsort, arr, {Value(0), Value(512)});
+  EXPECT_GT(v.as_i64(), 0);
+  const auto& vals = seqbench::array_values(*f.machine, arr);
+  EXPECT_TRUE(std::is_sorted(vals.begin(), vals.end()));
+  EXPECT_EQ(f.machine->live_contexts(), 0u);
+}
+
+TEST_P(SeqBenchModes, AckMatchesReference) {
+  SeqBenchFixtureState f(GetParam().mode, 1, GetParam().distributed);
+  const Value v = f.machine->run_main(0, f.ids.ack, kNoObject, {Value(2), Value(6)});
+  EXPECT_EQ(v.as_i64(), seqbench::ack_c(2, 6));
+  EXPECT_EQ(f.machine->live_contexts(), 0u);
+}
+
+TEST_P(SeqBenchModes, ChebyMatchesReference) {
+  SeqBenchFixtureState f(GetParam().mode, 1, GetParam().distributed);
+  const Value v = f.machine->run_main(0, f.ids.cheby, kNoObject, {Value(14), Value(0.3)});
+  EXPECT_DOUBLE_EQ(v.as_f64(), seqbench::cheby_c(14, 0.3));
+  EXPECT_EQ(f.machine->live_contexts(), 0u);
+}
+
+TEST_P(SeqBenchModes, ChainForwardsToAnswer) {
+  SeqBenchFixtureState f(GetParam().mode, 1, GetParam().distributed);
+  const Value v = f.machine->run_main(0, f.ids.chain, kNoObject, {Value(50)});
+  EXPECT_EQ(v.as_i64(), 42);
+  EXPECT_EQ(f.machine->live_contexts(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, SeqBenchModes,
+    ::testing::Values(ModeParam{ExecMode::Hybrid3, false}, ModeParam{ExecMode::Hybrid3, true},
+                      ModeParam{ExecMode::Hybrid1, false}, ModeParam{ExecMode::Hybrid1, true},
+                      ModeParam{ExecMode::ParallelOnly, false},
+                      ModeParam{ExecMode::ParallelOnly, true},
+                      ModeParam{ExecMode::SeqOpt, false}),
+    mode_name);
+
+TEST(SeqBenchSchemas, LocalCompileIsNonBlocking) {
+  SeqBenchFixtureState f(ExecMode::Hybrid3, 1, /*distributed=*/false);
+  auto& reg = f.machine->registry();
+  EXPECT_EQ(reg.schema(f.ids.fib), Schema::NonBlocking);
+  EXPECT_EQ(reg.schema(f.ids.tak), Schema::NonBlocking);
+  EXPECT_EQ(reg.schema(f.ids.nqueens), Schema::NonBlocking);
+  EXPECT_EQ(reg.schema(f.ids.qsort), Schema::NonBlocking);
+  EXPECT_EQ(reg.schema(f.ids.partition), Schema::NonBlocking);
+  EXPECT_EQ(reg.schema(f.ids.chain), Schema::ContinuationPassing);
+}
+
+TEST(SeqBenchSchemas, DistributedCompileIsMayBlock) {
+  SeqBenchFixtureState f(ExecMode::Hybrid3, 1, /*distributed=*/true);
+  auto& reg = f.machine->registry();
+  EXPECT_EQ(reg.schema(f.ids.fib), Schema::MayBlock);
+  EXPECT_EQ(reg.schema(f.ids.qsort), Schema::MayBlock);
+  // partition is provably non-blocking even in the distributed compile.
+  EXPECT_EQ(reg.schema(f.ids.partition), Schema::NonBlocking);
+}
+
+TEST(SeqBenchCost, HybridFarCheaperThanParallelOnly) {
+  SeqBenchFixtureState hybrid(ExecMode::Hybrid3, 1, false);
+  SeqBenchFixtureState par(ExecMode::ParallelOnly, 1, false);
+  hybrid.machine->run_main(0, hybrid.ids.fib, kNoObject, {Value(18)});
+  par.machine->run_main(0, par.ids.fib, kNoObject, {Value(18)});
+  // Heap-based execution is an order of magnitude more expensive.
+  EXPECT_GT(par.machine->max_clock(), 4 * hybrid.machine->max_clock());
+  // The hybrid run allocated (almost) no contexts; parallel-only one per call.
+  EXPECT_LT(hybrid.machine->total_stats().contexts_allocated, 5u);
+  EXPECT_GT(par.machine->total_stats().contexts_allocated, 1000u);
+}
+
+TEST(SeqBenchCost, ThreeInterfacesBeatOne) {
+  SeqBenchFixtureState h3(ExecMode::Hybrid3, 1, false);
+  SeqBenchFixtureState h1(ExecMode::Hybrid1, 1, false);
+  h3.machine->run_main(0, h3.ids.fib, kNoObject, {Value(18)});
+  h1.machine->run_main(0, h1.ids.fib, kNoObject, {Value(18)});
+  EXPECT_LT(h3.machine->max_clock(), h1.machine->max_clock());
+}
+
+TEST(SeqBenchCost, SeqOptCheapestRuntimeMode) {
+  SeqBenchFixtureState so(ExecMode::SeqOpt, 1, false);
+  SeqBenchFixtureState h3(ExecMode::Hybrid3, 1, false);
+  so.machine->run_main(0, so.ids.fib, kNoObject, {Value(18)});
+  h3.machine->run_main(0, h3.ids.fib, kNoObject, {Value(18)});
+  EXPECT_LT(so.machine->max_clock(), h3.machine->max_clock());
+}
+
+TEST(SeqBenchDeterminism, SameSeedSameActionsAndClocks) {
+  auto run = [] {
+    SeqBenchFixtureState f(ExecMode::Hybrid3, 1, true);
+    f.machine->run_main(0, f.ids.fib, kNoObject, {Value(14)});
+    return std::pair{f.machine->actions(), f.machine->max_clock()};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SeqBenchStats, StackCompletionsDominateInHybrid) {
+  SeqBenchFixtureState f(ExecMode::Hybrid3, 1, false);
+  f.machine->run_main(0, f.ids.fib, kNoObject, {Value(16)});
+  const NodeStats s = f.machine->total_stats();
+  EXPECT_GT(s.stack_calls, 100u);
+  EXPECT_EQ(s.stack_calls, s.stack_completions);  // nothing can block locally
+  EXPECT_EQ(s.fallbacks, 0u);
+}
+
+}  // namespace
+}  // namespace concert

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/panic.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+namespace concert {
+namespace {
+
+TEST(Panic, CheckThrowsProtocolError) {
+  EXPECT_THROW(CONCERT_CHECK(1 == 2, "broken " << 42), ProtocolError);
+  EXPECT_NO_THROW(CONCERT_CHECK(1 == 1, "fine"));
+}
+
+TEST(Panic, MessageCarriesContext) {
+  try {
+    CONCERT_CHECK(false, "value=" << 7);
+    FAIL() << "did not throw";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("value=7"), std::string::npos);
+  }
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform(17);
+    EXPECT_LT(v, 17u);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  SplitMix64 rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  SplitMix64 rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(Table, AlignsColumns) {
+  TablePrinter t({"a", "long-header"});
+  t.add_row({"xxxxxxxx", "1"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| a        | long-header |"), std::string::npos);
+  EXPECT_NE(s.find("| xxxxxxxx | 1           |"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ProtocolError);
+}
+
+TEST(Table, SeparatorRendersRule) {
+  TablePrinter t({"a"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  // Expect 5 horizontal rules: top, under header, separator, bottom... plus
+  // the one above the header block.
+  const std::string s = t.to_string();
+  int rules = 0;
+  for (std::size_t p = 0; (p = s.find("+--", p)) != std::string::npos; ++p) ++rules;
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(fmt_double(1.23456, 2), "1.23");
+  EXPECT_EQ(fmt_speedup(2.345), "2.35x");
+}
+
+TEST(Stats, AccumulateAcrossNodes) {
+  NodeStats a, b;
+  a.stack_calls = 3;
+  a.msgs_sent = 2;
+  b.stack_calls = 4;
+  b.fallbacks = 1;
+  a += b;
+  EXPECT_EQ(a.stack_calls, 7u);
+  EXPECT_EQ(a.fallbacks, 1u);
+  EXPECT_EQ(a.msgs_sent, 2u);
+}
+
+TEST(Stats, SummaryMentionsCounters) {
+  NodeStats s;
+  s.heap_invokes = 12345;
+  EXPECT_NE(s.summary().find("12345"), std::string::npos);
+}
+
+TEST(Stats, RunningStatMinMeanMax) {
+  RunningStat r;
+  r.add(1.0);
+  r.add(3.0);
+  r.add(2.0);
+  EXPECT_EQ(r.count(), 3u);
+  EXPECT_DOUBLE_EQ(r.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(r.min(), 1.0);
+  EXPECT_DOUBLE_EQ(r.max(), 3.0);
+}
+
+TEST(Stats, RunningStatEmpty) {
+  RunningStat r;
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_DOUBLE_EQ(r.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace concert

@@ -1,0 +1,127 @@
+// Protocol fuzzing with random call graphs: any divergence anywhere in the
+// hybrid execution protocol (lazy contexts, linkage, unwinding, replies,
+// wrapper re-routing, quiescence) perturbs the computed sum.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/synth/synth.hpp"
+#include "machine/sim_machine.hpp"
+#include "machine/threaded_machine.hpp"
+
+namespace concert {
+namespace {
+
+struct FuzzCase {
+  std::uint64_t seed;
+  std::size_t nmethods;
+  std::size_t max_calls;
+  std::size_t nodes;
+  std::int64_t depth;
+  ExecMode mode;
+  double inject_p;
+};
+
+class SynthFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(SynthFuzz, MatchesReferenceEvaluator) {
+  const FuzzCase c = GetParam();
+  SplitMix64 rng(c.seed);
+  const synth::Program prog = synth::Program::random(rng, c.nmethods, c.max_calls);
+
+  MachineConfig cfg;
+  cfg.mode = c.mode;
+  cfg.costs = CostModel::cm5();
+  SimMachine m(c.nodes, cfg);
+  auto ids = synth::register_synth(m.registry(), prog);
+  m.registry().finalize();
+  auto homes = synth::place_objects(m, prog, rng);
+  if (c.inject_p > 0) {
+    for (NodeId n = 0; n < c.nodes; ++n) {
+      m.node(n).injector().set_probability(c.inject_p, c.seed * 131 + n);
+    }
+  }
+
+  for (std::uint32_t entry = 0; entry < std::min<std::size_t>(3, c.nmethods); ++entry) {
+    const Value got = synth::run(m, ids, homes, entry, c.depth);
+    EXPECT_EQ(got.as_i64(), prog.eval(entry, c.depth)) << "entry " << entry;
+  }
+  EXPECT_EQ(m.live_contexts(), 0u) << "leaked contexts";
+  const NodeStats s = m.total_stats();
+  EXPECT_EQ(s.msgs_sent, s.msgs_received);
+  EXPECT_EQ(s.contexts_allocated, s.contexts_freed);
+}
+
+std::vector<FuzzCase> make_cases() {
+  std::vector<FuzzCase> cases;
+  std::uint64_t seed = 1;
+  for (ExecMode mode : {ExecMode::Hybrid3, ExecMode::Hybrid1, ExecMode::ParallelOnly}) {
+    for (std::size_t nodes : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+      for (double p : {0.0, 0.25}) {
+        cases.push_back(FuzzCase{seed++, 6, 3, nodes, 5, mode, p});
+        cases.push_back(FuzzCase{seed++, 3, 4, nodes, 4, mode, p});
+        cases.push_back(FuzzCase{seed++, 12, 2, nodes, 7, mode, p});
+      }
+    }
+  }
+  // A few deep/narrow and wide/shallow extremes.
+  cases.push_back(FuzzCase{97, 2, 1, 4, 400, ExecMode::Hybrid3, 0.1});
+  cases.push_back(FuzzCase{98, 1, 2, 2, 14, ExecMode::Hybrid3, 0.02});
+  cases.push_back(FuzzCase{99, 20, 6, 8, 3, ExecMode::Hybrid3, 0.3});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SynthFuzz, ::testing::ValuesIn(make_cases()));
+
+TEST(SynthThreaded, RandomProgramsUnderRealThreads) {
+  for (std::uint64_t seed : {11u, 22u, 33u, 44u}) {
+    SplitMix64 rng(seed);
+    const synth::Program prog = synth::Program::random(rng, 8, 3);
+    MachineConfig cfg;
+    cfg.mode = ExecMode::Hybrid3;
+    ThreadedMachine m(4, cfg);
+    auto ids = synth::register_synth(m.registry(), prog);
+    m.registry().finalize();
+    auto homes = synth::place_objects(m, prog, rng);
+    const Value got = synth::run(m, ids, homes, 0, 5);
+    EXPECT_EQ(got.as_i64(), prog.eval(0, 5)) << "seed " << seed;
+    EXPECT_EQ(m.live_contexts(), 0u);
+  }
+}
+
+TEST(SynthDeterminism, SameSeedSameSimulation) {
+  auto once = [] {
+    SplitMix64 rng(7);
+    const synth::Program prog = synth::Program::random(rng, 8, 3);
+    SimMachine m(4, MachineConfig{});
+    auto ids = synth::register_synth(m.registry(), prog);
+    m.registry().finalize();
+    auto homes = synth::place_objects(m, prog, rng);
+    synth::run(m, ids, homes, 0, 6);
+    return std::pair{m.actions(), m.max_clock()};
+  };
+  EXPECT_EQ(once(), once());
+}
+
+TEST(SynthProgram, ReferenceEvaluatorBasics) {
+  synth::Program p;
+  p.methods.push_back({10, {1, 1}});  // m0 = 10 + 2*m1
+  p.methods.push_back({3, {}});       // m1 = 3
+  EXPECT_EQ(p.eval(0, 0), 10);
+  EXPECT_EQ(p.eval(0, 1), 16);
+  EXPECT_EQ(p.eval(0, 5), 16);  // m1 has no callees; depth stops mattering
+  EXPECT_EQ(p.eval(1, 3), 3);
+}
+
+TEST(SynthProgram, RandomGeneratorRespectsShape) {
+  SplitMix64 rng(5);
+  const synth::Program p = synth::Program::random(rng, 10, 4);
+  EXPECT_EQ(p.methods.size(), 10u);
+  for (const auto& m : p.methods) {
+    EXPECT_LE(m.callees.size(), 4u);
+    for (auto c : m.callees) EXPECT_LT(c, 10u);
+  }
+}
+
+}  // namespace
+}  // namespace concert

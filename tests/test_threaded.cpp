@@ -1,0 +1,84 @@
+// The std::thread-per-node engine: real concurrency, quiescence detection,
+// and agreement with the deterministic engine's results.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+namespace concert {
+namespace {
+
+using testing::test_config;
+
+TEST(ThreadedMachineTest, EmptyMachineQuiesces) {
+  ThreadedMachine m(4, test_config());
+  m.registry().finalize();
+  m.run_until_quiescent();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadedMachineTest, SingleNodeFib) {
+  ThreadedMachine m(1, test_config(ExecMode::Hybrid3));
+  auto ids = seqbench::register_seqbench(m.registry(), false);
+  m.registry().finalize();
+  EXPECT_EQ(m.run_main(0, ids.fib, kNoObject, {Value(18)}).as_i64(), seqbench::fib_c(18));
+  EXPECT_EQ(m.live_contexts(), 0u);
+}
+
+class ThreadedModes : public ::testing::TestWithParam<ExecMode> {};
+
+TEST_P(ThreadedModes, RemoteQsortAcrossNodes) {
+  ThreadedMachine m(4, test_config(GetParam()));
+  auto ids = seqbench::register_seqbench(m.registry(), true);
+  m.registry().finalize();
+  const GlobalRef arr = seqbench::make_qsort_array(m, 3, 256, 99);
+  const Value v = m.run_main(0, ids.qsort, arr, {Value(0), Value(256)});
+  EXPECT_GT(v.as_i64(), 0);
+  EXPECT_TRUE(std::is_sorted(seqbench::array_values(m, arr).begin(),
+                             seqbench::array_values(m, arr).end()));
+  EXPECT_EQ(m.live_contexts(), 0u);
+  const NodeStats s = m.total_stats();
+  EXPECT_EQ(s.msgs_sent, s.msgs_received);
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, ThreadedModes,
+                         ::testing::Values(ExecMode::Hybrid3, ExecMode::Hybrid1,
+                                           ExecMode::ParallelOnly));
+
+TEST(ThreadedMachineTest, AgreesWithSimEngine) {
+  auto run = [](Machine& m, const seqbench::Ids& ids) {
+    return m.run_main(0, ids.tak, kNoObject, {Value(9), Value(5), Value(2)}).as_i64();
+  };
+  SimMachine sim(2, test_config(ExecMode::Hybrid3));
+  auto sim_ids = seqbench::register_seqbench(sim.registry(), true);
+  sim.registry().finalize();
+  const auto a = run(sim, sim_ids);
+
+  ThreadedMachine thr(2, test_config(ExecMode::Hybrid3));
+  auto thr_ids = seqbench::register_seqbench(thr.registry(), true);
+  thr.registry().finalize();
+  const auto b = run(thr, thr_ids);
+
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, seqbench::tak_c(9, 5, 2));
+}
+
+TEST(ThreadedMachineTest, BackToBackPrograms) {
+  ThreadedMachine m(2, test_config(ExecMode::Hybrid3));
+  auto ids = seqbench::register_seqbench(m.registry(), true);
+  m.registry().finalize();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(m.run_main(i % 2, ids.fib, kNoObject, {Value(12)}).as_i64(),
+              seqbench::fib_c(12));
+  }
+  EXPECT_EQ(m.live_contexts(), 0u);
+}
+
+TEST(ThreadedMachineTest, ChainAcrossRuns) {
+  ThreadedMachine m(3, test_config(ExecMode::Hybrid3));
+  auto ids = seqbench::register_seqbench(m.registry(), true);
+  m.registry().finalize();
+  EXPECT_EQ(m.run_main(1, ids.chain, kNoObject, {Value(40)}).as_i64(), 42);
+}
+
+}  // namespace
+}  // namespace concert

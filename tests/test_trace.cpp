@@ -1,0 +1,108 @@
+// Execution tracing: events recorded in simulated-time order, chrome-trace
+// export well formed, zero overhead when disabled.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "machine/trace.hpp"
+#include "test_util.hpp"
+
+namespace concert {
+namespace {
+
+using testing::SeqBenchFixtureState;
+using testing::test_config;
+
+TEST(Trace, DisabledByDefaultAndRecordsNothing) {
+  SeqBenchFixtureState f(ExecMode::ParallelOnly);
+  f.machine->run_main(0, f.ids.fib, kNoObject, {Value(8)});
+  EXPECT_FALSE(f.machine->node(0).tracer.enabled());
+  EXPECT_TRUE(f.machine->node(0).tracer.records().empty());
+}
+
+struct TracedWorld {
+  std::unique_ptr<SimMachine> machine;
+  seqbench::Ids ids;
+
+  explicit TracedWorld(ExecMode mode, std::size_t nodes = 1) {
+    MachineConfig cfg = test_config(mode);
+    cfg.trace = true;
+    machine = std::make_unique<SimMachine>(nodes, cfg);
+    ids = seqbench::register_seqbench(machine->registry(), true);
+    machine->registry().finalize();
+  }
+};
+
+TEST(Trace, RecordsDispatchesInParallelMode) {
+  TracedWorld w(ExecMode::ParallelOnly);
+  w.machine->run_main(0, w.ids.fib, kNoObject, {Value(8)});
+  const auto& recs = w.machine->node(0).tracer.records();
+  ASSERT_FALSE(recs.empty());
+  int begins = 0, ends = 0;
+  for (const auto& r : recs) {
+    begins += r.kind == TraceKind::DispatchBegin;
+    ends += r.kind == TraceKind::DispatchEnd;
+  }
+  EXPECT_GT(begins, 10);
+  EXPECT_EQ(begins, ends);
+}
+
+TEST(Trace, TimestampsMonotonePerNode) {
+  TracedWorld w(ExecMode::Hybrid3, 2);
+  const GlobalRef arr = seqbench::make_qsort_array(*w.machine, 1, 64, 3);
+  w.machine->run_main(0, w.ids.qsort, arr, {Value(0), Value(64)});
+  for (NodeId n = 0; n < 2; ++n) {
+    const auto& recs = w.machine->node(n).tracer.records();
+    for (std::size_t i = 1; i < recs.size(); ++i) {
+      EXPECT_LE(recs[i - 1].clock, recs[i].clock) << "node " << n << " record " << i;
+    }
+  }
+}
+
+TEST(Trace, MessagesAppearOnBothSides) {
+  TracedWorld w(ExecMode::Hybrid3, 2);
+  const GlobalRef arr = seqbench::make_qsort_array(*w.machine, 1, 32, 3);
+  w.machine->run_main(0, w.ids.qsort, arr, {Value(0), Value(32)});
+  auto count = [&](NodeId n, TraceKind k) {
+    int c = 0;
+    for (const auto& r : w.machine->node(n).tracer.records()) c += r.kind == k;
+    return c;
+  };
+  EXPECT_GE(count(0, TraceKind::MsgSend), 1);
+  EXPECT_GE(count(1, TraceKind::MsgRecv), 1);
+  EXPECT_EQ(count(0, TraceKind::MsgSend) + count(1, TraceKind::MsgSend),
+            count(0, TraceKind::MsgRecv) + count(1, TraceKind::MsgRecv));
+}
+
+TEST(Trace, ChromeExportIsBalancedJson) {
+  // ParallelOnly so the trace contains heap-context dispatches (duration
+  // events) as well as messages; a hybrid run of this program would execute
+  // entirely on handler stacks.
+  TracedWorld w(ExecMode::ParallelOnly, 2);
+  const GlobalRef arr = seqbench::make_qsort_array(*w.machine, 1, 32, 5);
+  w.machine->run_main(0, w.ids.qsort, arr, {Value(0), Value(32)});
+  std::ostringstream os;
+  write_chrome_trace(*w.machine, os);
+  const std::string s = os.str();
+  ASSERT_GT(s.size(), 10u);
+  EXPECT_EQ(s.front(), '[');
+  long depth = 0;
+  for (char c : s) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_NE(s.find("\"ph\":\"X\""), std::string::npos);   // at least one duration
+  EXPECT_NE(s.find("msg_send"), std::string::npos);
+  EXPECT_NE(s.find("qsort"), std::string::npos);          // method names resolved
+}
+
+TEST(Trace, KindNamesAreDistinct) {
+  EXPECT_STREQ(trace_kind_name(TraceKind::MsgSend), "msg_send");
+  EXPECT_STREQ(trace_kind_name(TraceKind::Suspend), "suspend");
+  EXPECT_STREQ(trace_kind_name(TraceKind::Resume), "resume");
+}
+
+}  // namespace
+}  // namespace concert

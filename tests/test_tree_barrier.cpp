@@ -1,0 +1,153 @@
+// Combining-tree barrier: correctness across shapes/phases and the scaling
+// property it exists for (the root receives O(fanout), not O(P), messages).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/barrier.hpp"
+#include "core/tree_barrier.hpp"
+#include "machine/sim_machine.hpp"
+#include "test_util.hpp"
+
+namespace concert {
+namespace {
+
+using testing::test_config;
+
+struct TreeWorld {
+  std::unique_ptr<SimMachine> machine;
+  TreeBarrierMethods methods;
+  std::vector<GlobalRef> tree;
+
+  TreeWorld(std::size_t nodes, int arrivals_per_node, int fanout,
+            ExecMode mode = ExecMode::Hybrid3) {
+    machine = std::make_unique<SimMachine>(nodes, test_config(mode, CostModel::cm5()));
+    methods = register_tree_barrier_methods(machine->registry());
+    machine->registry().finalize();
+    tree = make_tree_barrier(*machine, arrivals_per_node, fanout);
+  }
+
+  /// One phase: every node issues its arrivals at its local tree node.
+  std::vector<std::int64_t> phase(int arrivals_per_node) {
+    std::vector<Context*> roots;
+    for (NodeId nid = 0; nid < machine->node_count(); ++nid) {
+      for (int a = 0; a < arrivals_per_node; ++a) {
+        Node& nd = machine->node(nid);
+        Context& root = nd.alloc_context_raw(kInvalidMethod, 1);
+        root.status = ContextStatus::Proxy;
+        root.expect(0);
+        roots.push_back(&root);
+        nd.send(Message::invoke(nid, nid, methods.arrive, tree[nid], {},
+                                {root.ref(), 0, false}));
+      }
+    }
+    machine->run_until_quiescent();
+    std::vector<std::int64_t> gens;
+    for (Context* r : roots) {
+      gens.push_back(r->slot_full(0) ? r->get(0).as_i64() : -1);
+      machine->node(r->home).free_context(*r);
+    }
+    return gens;
+  }
+};
+
+struct TreeCase {
+  std::size_t nodes;
+  int per_node;
+  int fanout;
+};
+
+class TreeShapes : public ::testing::TestWithParam<TreeCase> {};
+
+TEST_P(TreeShapes, AllWaitersReleasedWithSameGeneration) {
+  const TreeCase c = GetParam();
+  TreeWorld w(c.nodes, c.per_node, c.fanout);
+  const auto gens = w.phase(c.per_node);
+  ASSERT_EQ(gens.size(), c.nodes * static_cast<std::size_t>(c.per_node));
+  for (auto g : gens) EXPECT_EQ(g, 0);
+  EXPECT_EQ(w.machine->live_contexts(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TreeShapes,
+                         ::testing::Values(TreeCase{1, 1, 2}, TreeCase{2, 1, 2},
+                                           TreeCase{4, 2, 2}, TreeCase{8, 1, 2},
+                                           TreeCase{8, 3, 3}, TreeCase{16, 1, 2},
+                                           TreeCase{16, 2, 4}, TreeCase{7, 2, 2},
+                                           TreeCase{13, 1, 3}));
+
+TEST(TreeBarrier, ReusableAcrossPhases) {
+  TreeWorld w(6, 2, 2);
+  for (std::int64_t phase = 0; phase < 4; ++phase) {
+    const auto gens = w.phase(2);
+    for (auto g : gens) EXPECT_EQ(g, phase);
+  }
+}
+
+TEST(TreeBarrier, LocalGenerationsAreConsistentEverywhere) {
+  TreeWorld w(9, 1, 3);
+  w.phase(1);
+  for (NodeId nid = 0; nid < 9; ++nid) {
+    const auto& b = w.machine->node(nid).objects().get<TreeBarrierNode>(w.tree[nid]);
+    EXPECT_EQ(b.generation, 1) << "node " << nid;
+    EXPECT_TRUE(b.waiters.empty());
+  }
+}
+
+TEST(TreeBarrier, RootReceivesOnlyFanoutMessages) {
+  // Flat barrier: every non-home arrival is a message to node 0. Tree with
+  // fanout 2: node 0 receives only its direct children's notifications.
+  constexpr std::size_t kNodes = 16;
+
+  SimMachine flat_m(kNodes, test_config(ExecMode::Hybrid3, CostModel::cm5()));
+  auto flat_methods = register_barrier_methods(flat_m.registry());
+  flat_m.registry().finalize();
+  const GlobalRef flat = make_barrier(flat_m, 0, kNodes);
+  {
+    std::vector<Context*> roots;
+    for (NodeId nid = 0; nid < kNodes; ++nid) {
+      Node& nd = flat_m.node(nid);
+      Context& root = nd.alloc_context_raw(kInvalidMethod, 1);
+      root.status = ContextStatus::Proxy;
+      root.expect(0);
+      roots.push_back(&root);
+      nd.send(Message::invoke(nid, 0, flat_methods.arrive, flat, {}, {root.ref(), 0, false}));
+    }
+    flat_m.run_until_quiescent();
+    for (Context* r : roots) flat_m.node(r->home).free_context(*r);
+  }
+
+  TreeWorld tree(kNodes, 1, 2);
+  tree.phase(1);
+
+  const auto flat_root_msgs = flat_m.node(0).stats.msgs_received;
+  const auto tree_root_msgs = tree.machine->node(0).stats.msgs_received;
+  EXPECT_GE(flat_root_msgs, kNodes - 1);
+  EXPECT_LE(tree_root_msgs, 4u);  // 2 child notifications + slack
+  EXPECT_LT(tree_root_msgs * 3, flat_root_msgs);
+}
+
+TEST(TreeBarrier, WorksInParallelOnlyMode) {
+  TreeWorld w(8, 2, 2, ExecMode::ParallelOnly);
+  const auto gens = w.phase(2);
+  for (auto g : gens) EXPECT_EQ(g, 0);
+  EXPECT_EQ(w.machine->live_contexts(), 0u);
+}
+
+TEST(TreeBarrier, SchemasAreAsDesigned) {
+  TreeWorld w(2, 1, 2);
+  auto& reg = w.machine->registry();
+  EXPECT_EQ(reg.schema(w.methods.arrive), Schema::ContinuationPassing);
+  EXPECT_EQ(reg.schema(w.methods.notify), Schema::NonBlocking);
+  EXPECT_EQ(reg.schema(w.methods.release), Schema::NonBlocking);
+}
+
+TEST(TreeBarrier, RejectsBadShape) {
+  SimMachine m(2, test_config());
+  register_tree_barrier_methods(m.registry());
+  m.registry().finalize();
+  EXPECT_THROW(make_tree_barrier(m, 0, 2), ProtocolError);
+  EXPECT_THROW(make_tree_barrier(m, 1, 0), ProtocolError);
+}
+
+}  // namespace
+}  // namespace concert

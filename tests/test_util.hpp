@@ -1,0 +1,34 @@
+// Shared helpers for the test suite.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "apps/seqbench/seqbench.hpp"
+#include "machine/sim_machine.hpp"
+#include "machine/threaded_machine.hpp"
+
+namespace concert::testing {
+
+inline MachineConfig test_config(ExecMode mode = ExecMode::Hybrid3,
+                                 CostModel costs = CostModel::workstation()) {
+  MachineConfig cfg;
+  cfg.mode = mode;
+  cfg.costs = costs;
+  return cfg;
+}
+
+/// A single-node sim machine with the seqbench suite registered.
+struct SeqBenchFixtureState {
+  std::unique_ptr<SimMachine> machine;
+  seqbench::Ids ids;
+
+  explicit SeqBenchFixtureState(ExecMode mode, std::size_t nodes = 1, bool distributed = false) {
+    machine = std::make_unique<SimMachine>(nodes, test_config(mode));
+    ids = seqbench::register_seqbench(machine->registry(), distributed);
+    machine->registry().finalize();
+  }
+};
+
+}  // namespace concert::testing

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+#include "core/value.hpp"
+
+namespace concert {
+namespace {
+
+TEST(Value, DefaultIsNil) {
+  Value v;
+  EXPECT_TRUE(v.is_nil());
+  EXPECT_EQ(v.tag(), Value::Tag::Nil);
+}
+
+TEST(Value, I64RoundTrip) {
+  Value v{std::int64_t{-42}};
+  EXPECT_EQ(v.as_i64(), -42);
+  EXPECT_EQ(v.tag(), Value::Tag::I64);
+}
+
+TEST(Value, IntPromotesToI64) {
+  Value v{7};
+  EXPECT_EQ(v.as_i64(), 7);
+}
+
+TEST(Value, F64RoundTrip) {
+  Value v{3.25};
+  EXPECT_DOUBLE_EQ(v.as_f64(), 3.25);
+}
+
+TEST(Value, RefRoundTrip) {
+  GlobalRef r{5, 99};
+  Value v{r};
+  EXPECT_EQ(v.as_ref(), r);
+}
+
+TEST(Value, U64RoundTrip) {
+  Value v = Value::u64(0xdeadbeefcafeull);
+  EXPECT_EQ(v.as_u64(), 0xdeadbeefcafeull);
+}
+
+TEST(Value, WrongTagAccessThrows) {
+  Value v{1.5};
+  EXPECT_THROW(v.as_i64(), ProtocolError);
+  EXPECT_THROW(v.as_ref(), ProtocolError);
+  EXPECT_THROW(v.as_u64(), ProtocolError);
+  EXPECT_THROW(Value{}.as_f64(), ProtocolError);
+}
+
+TEST(Value, EqualityIsTagAndPayload) {
+  EXPECT_EQ(Value{1}, Value{1});
+  EXPECT_NE(Value{1}, Value{2});
+  EXPECT_NE(Value{1}, Value{1.0});  // different tags
+  EXPECT_EQ(Value{}, Value{});
+  EXPECT_EQ((Value{GlobalRef{1, 2}}), (Value{GlobalRef{1, 2}}));
+  EXPECT_NE((Value{GlobalRef{1, 2}}), (Value{GlobalRef{1, 3}}));
+}
+
+TEST(Value, Printing) {
+  std::ostringstream os;
+  os << Value{42} << " " << Value{} << " " << Value{GlobalRef{3, 4}};
+  EXPECT_EQ(os.str(), "42 nil ref(3,4)");
+}
+
+TEST(GlobalRefTest, PackUnpackRoundTrip) {
+  GlobalRef r{0xabcdu, 0x12345678u};
+  EXPECT_EQ(GlobalRef::unpack(r.pack()), r);
+}
+
+TEST(GlobalRefTest, InvalidByDefault) {
+  GlobalRef r;
+  EXPECT_FALSE(r.valid());
+  EXPECT_FALSE(kNoObject.valid());
+  EXPECT_TRUE((GlobalRef{0, 0}).valid());
+}
+
+TEST(GlobalRefTest, HashDistinguishes) {
+  std::unordered_set<GlobalRef> set;
+  for (std::uint32_t n = 0; n < 10; ++n) {
+    for (std::uint32_t i = 0; i < 10; ++i) set.insert(GlobalRef{n, i});
+  }
+  EXPECT_EQ(set.size(), 100u);
+}
+
+}  // namespace
+}  // namespace concert

@@ -1,0 +1,114 @@
+// Wrapper functions and proxy contexts: messages execute on handler stacks.
+#include <gtest/gtest.h>
+
+#include "core/barrier.hpp"
+#include "core/wrapper.hpp"
+#include "test_util.hpp"
+
+namespace concert {
+namespace {
+
+using testing::SeqBenchFixtureState;
+using testing::test_config;
+
+TEST(Wrapper, ProxyContextHoldsContinuation) {
+  SimMachine m(1, test_config());
+  m.registry().finalize();
+  Node& nd = m.node(0);
+  const Continuation k{ContextRef{0, 42, 7}, 3, false};
+  Context& proxy = make_proxy_context(nd, k);
+  EXPECT_EQ(proxy.status, ContextStatus::Proxy);
+  EXPECT_EQ(proxy.ret, k);
+  const CallerInfo ci = proxy_caller_info(proxy);
+  EXPECT_TRUE(ci.context_exists);
+  EXPECT_TRUE(ci.forwarded);
+  EXPECT_EQ(ci.context, proxy.ref());
+  nd.free_context(proxy);
+  EXPECT_EQ(m.live_contexts(), 0u);
+}
+
+TEST(Wrapper, RemoteNBExecutesOnHandlerStack) {
+  SimMachine m(2, test_config(ExecMode::Hybrid3));
+  auto ids = seqbench::register_seqbench(m.registry(), /*distributed=*/true);
+  m.registry().finalize();
+  const GlobalRef arr = seqbench::make_qsort_array(m, 1, 8, 5);
+  // partition (NB) on a remote object: request -> handler stack -> reply.
+  const Value v = m.run_main(0, ids.partition, arr, {Value(0), Value(8)});
+  EXPECT_GE(v.as_i64(), 0);
+  EXPECT_LT(v.as_i64(), 8);
+  // The handler allocated no heap context for the method itself.
+  EXPECT_EQ(m.node(1).stats.heap_invokes, 0u);
+  EXPECT_EQ(m.node(1).stats.stack_completions, 1u);
+}
+
+TEST(Wrapper, RemoteChainForwardsThroughNodes) {
+  // chain objects on alternating nodes: each hop forwards the continuation
+  // off-node; the base replies straight to the root continuation.
+  SimMachine m(2, test_config(ExecMode::Hybrid3));
+  auto ids = seqbench::register_seqbench(m.registry(), true);
+  m.registry().finalize();
+  // chain's self is kNoObject (local); instead exercise off-node forwarding
+  // via injection so each link materializes and re-sends. Here: just verify
+  // proxies are created and freed for a remote CP invocation.
+  auto [ref, obj] = m.node(1).objects().create<int>(1, 0);
+  (void)obj;
+  const Value v = m.run_main(0, ids.chain, ref, {Value(10)});
+  EXPECT_EQ(v.as_i64(), 42);
+  EXPECT_GE(m.node(1).stats.proxy_contexts, 1u);
+  EXPECT_EQ(m.live_contexts(), 0u);
+}
+
+TEST(Wrapper, RemoteBarrierArriveStoresOffNodeContinuation) {
+  SimMachine m(3, test_config(ExecMode::Hybrid3));
+  auto bar_methods = register_barrier_methods(m.registry());
+  auto ids = seqbench::register_seqbench(m.registry(), true);
+  (void)ids;
+  m.registry().finalize();
+  const GlobalRef bar = make_barrier(m, 2, 2);
+
+  // Two root arrivals from different nodes; both block until the second one
+  // releases the barrier, then both roots observe generation 0.
+  Node& n0 = m.node(0);
+  Context& root0 = n0.alloc_context_raw(kInvalidMethod, 1);
+  root0.status = ContextStatus::Proxy;
+  root0.expect(0);
+  Node& n1 = m.node(1);
+  Context& root1 = n1.alloc_context_raw(kInvalidMethod, 1);
+  root1.status = ContextStatus::Proxy;
+  root1.expect(0);
+
+  m.route(n0, Message::invoke(0, 2, bar_methods.arrive, bar, {}, {root0.ref(), 0, false}));
+  m.route(n1, Message::invoke(1, 2, bar_methods.arrive, bar, {}, {root1.ref(), 0, false}));
+  m.run_until_quiescent();
+
+  EXPECT_EQ(root0.get(0).as_i64(), 0);
+  EXPECT_EQ(root1.get(0).as_i64(), 0);
+  // Both arrivals ran on node 2's handler stack through proxies.
+  EXPECT_EQ(m.node(2).stats.proxy_contexts, 2u);
+  EXPECT_EQ(m.node(2).stats.heap_invokes, 0u);
+  n0.free_context(root0);
+  n1.free_context(root1);
+  EXPECT_EQ(m.live_contexts(), 0u);
+}
+
+TEST(Wrapper, ParallelOnlyModeAllocatesContextPerMessage) {
+  SimMachine m(2, test_config(ExecMode::ParallelOnly));
+  auto ids = seqbench::register_seqbench(m.registry(), true);
+  m.registry().finalize();
+  const GlobalRef arr = seqbench::make_qsort_array(m, 1, 8, 5);
+  m.run_main(0, ids.partition, arr, {Value(0), Value(8)});
+  EXPECT_GE(m.node(1).stats.heap_invokes, 1u);
+  EXPECT_EQ(m.node(1).stats.stack_calls, 0u);
+}
+
+TEST(Wrapper, MessageArityChecked) {
+  SimMachine m(1, test_config());
+  auto ids = seqbench::register_seqbench(m.registry(), false);
+  m.registry().finalize();
+  Node& nd = m.node(0);
+  Message bad = Message::invoke(0, 0, ids.fib, kNoObject, {Value(1), Value(2)}, {});
+  EXPECT_THROW(handle_invoke_message(nd, bad), ProtocolError);
+}
+
+}  // namespace
+}  // namespace concert
