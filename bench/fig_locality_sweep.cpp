@@ -15,13 +15,18 @@
 namespace concert {
 namespace {
 
-double run_sor_seconds(const sor::Params& p, ExecMode mode, const CostModel& costs) {
+struct RunOut {
+  double sim_seconds;
+  NodeStats stats;
+};
+
+RunOut run_sor_out(const sor::Params& p, ExecMode mode, const CostModel& costs) {
   SimMachine m(p.nodes(), bench::make_config(mode, costs));
   auto ids = sor::register_sor(m.registry(), p);
   m.registry().finalize();
   auto world = sor::build(m, ids, p);
   CONCERT_CHECK(sor::run(m, ids, world), "sor run failed");
-  return m.elapsed_seconds();
+  return {m.elapsed_seconds(), m.total_stats()};
 }
 
 }  // namespace
@@ -41,17 +46,18 @@ int main() {
 
   bench::print_caption("Figure (Sec. 4.3.1) — hybrid speedup vs data locality, SOR on " +
                        costs.name);
-  TablePrinter t({"block", "local frac", "measured speedup", "analytic peak"});
+  TablePrinter t({"block", "local frac", "measured speedup", "analytic peak", "msgs", "bytes"});
   for (std::size_t block = 1; block * base.pgrid <= base.n; block *= 2) {
     sor::Params p = base;
     p.block = block;
     const double f = p.layout().local_fraction();
-    const double hybrid = run_sor_seconds(p, ExecMode::Hybrid3, costs);
-    const double par = run_sor_seconds(p, ExecMode::ParallelOnly, costs);
+    const RunOut hybrid = run_sor_out(p, ExecMode::Hybrid3, costs);
+    const RunOut par = run_sor_out(p, ExecMode::ParallelOnly, costs);
     const double peak = (f * c_heap + (1 - f) * c_remote + w) /
                         (f * c_stack + (1 - f) * c_remote + w);
-    t.add_row({std::to_string(block), fmt_double(f, 3), fmt_speedup(par / hybrid),
-               fmt_speedup(peak)});
+    t.add_row({std::to_string(block), fmt_double(f, 3),
+               fmt_speedup(par.sim_seconds / hybrid.sim_seconds), fmt_speedup(peak),
+               fmt_count(hybrid.stats.msgs_sent), fmt_bytes(hybrid.stats.bytes_sent)});
   }
   t.print(std::cout);
   std::cout << "\nPaper: measured 2.3x vs a 2.63x analytic maximum at f=0.94; speedups\n"

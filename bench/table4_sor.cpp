@@ -47,7 +47,7 @@ int main() {
                          " iterations, " + std::to_string(base.nodes()) + "-node " +
                          costs.name);
     TablePrinter t({"block", "local frac", "hybrid (s)", "par-only (s)", "speedup",
-                    "hybrid ctxs", "par ctxs"});
+                    "hybrid ctxs", "par ctxs", "msgs", "bytes", "avg bundle"});
     for (std::size_t block : {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8},
                               std::size_t{16}}) {
       if (block * base.pgrid > base.n) continue;
@@ -63,7 +63,11 @@ int main() {
                  fmt_double(hybrid.sim_seconds), fmt_double(par.sim_seconds),
                  fmt_speedup(par.sim_seconds / hybrid.sim_seconds),
                  std::to_string(hybrid.stats.contexts_allocated),
-                 std::to_string(par.stats.contexts_allocated)});
+                 std::to_string(par.stats.contexts_allocated),
+                 fmt_count(hybrid.stats.msgs_sent), fmt_bytes(hybrid.stats.bytes_sent),
+                 hybrid.stats.outbox_flushes
+                     ? fmt_double(hybrid.stats.mean_bundle_size(), 2)
+                     : std::string("1.00")});
     }
     t.print(std::cout);
   }

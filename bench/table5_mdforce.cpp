@@ -46,7 +46,7 @@ int main() {
     bench::print_caption("Table 5 — MD-Force, " + std::to_string(base.atoms) + " atoms, 1 " +
                          "iteration, " + std::to_string(nodes) + "-node " + costs.name);
     TablePrinter t({"layout", "cross pairs", "hybrid (s)", "par-only (s)", "speedup",
-                    "paper"});
+                    "paper", "msgs", "bytes"});
     for (const bool spatial : {false, true}) {
       md::Params p = base;
       p.spatial = spatial;
@@ -60,7 +60,8 @@ int main() {
       t.add_row({spatial ? "spatial (ORB)" : "random",
                  std::to_string(hybrid.cross_pairs) + "/" + std::to_string(hybrid.total_pairs),
                  fmt_double(hybrid.sim_seconds), fmt_double(par.sim_seconds),
-                 fmt_speedup(par.sim_seconds / hybrid.sim_seconds), paper});
+                 fmt_speedup(par.sim_seconds / hybrid.sim_seconds), paper,
+                 fmt_count(hybrid.stats.msgs_sent), fmt_bytes(hybrid.stats.bytes_sent)});
     }
     t.print(std::cout);
   }

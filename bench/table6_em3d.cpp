@@ -52,7 +52,8 @@ int main() {
     bench::print_caption("Table 6 — EM3D " + std::to_string(base.graph_nodes) + " nodes deg " +
                          std::to_string(base.degree) + ", " + std::to_string(base.iters) +
                          " iters, " + std::to_string(mc.nodes) + "-node " + mc.costs.name);
-    TablePrinter t({"version", "locality", "hybrid (s)", "par-only (s)", "speedup", "msgs"});
+    TablePrinter t({"version", "locality", "hybrid (s)", "par-only (s)", "speedup", "msgs",
+                    "bytes"});
     for (const double loc : {0.02, 0.99}) {
       for (const auto v :
            {em3d::Version::Pull, em3d::Version::Push, em3d::Version::Forward}) {
@@ -67,7 +68,8 @@ int main() {
         t.add_row({em3d::version_name(v), loc > 0.5 ? "high" : "low",
                    fmt_double(hybrid.sim_seconds), fmt_double(par.sim_seconds),
                    fmt_speedup(par.sim_seconds / hybrid.sim_seconds),
-                   std::to_string(hybrid.stats.msgs_sent)});
+                   std::to_string(hybrid.stats.msgs_sent),
+                   fmt_bytes(hybrid.stats.bytes_sent)});
       }
       t.add_separator();
     }

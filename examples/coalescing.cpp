@@ -1,0 +1,65 @@
+// Message coalescing with the pluggable comms layer.
+//
+// Runs the same low-locality EM3D push program under the three flush
+// policies and prints what each one does to the wire: how many network
+// messages actually travel, how large the bundles get, and how many
+// instructions the messaging layer burns. The program's *results* are
+// identical in all three runs — the policies only change when staged
+// messages leave a node's per-destination outbox.
+//
+// Build & run:  ./examples/coalescing
+#include <iostream>
+
+#include "apps/em3d/em3d.hpp"
+#include "machine/sim_machine.hpp"
+
+using namespace concert;
+
+namespace {
+
+NodeStats run_once(const FlushPolicy& policy, double* checksum) {
+  em3d::Params p;
+  p.graph_nodes = 256;
+  p.degree = 8;
+  p.iters = 3;
+  p.local_fraction = 0.05;  // almost every edge crosses nodes
+
+  MachineConfig cfg;
+  cfg.costs = CostModel::cm5();
+  cfg.flush_policy = policy;  // <-- the only thing that varies between runs
+  SimMachine m(8, cfg);
+  auto ids = em3d::register_em3d(m.registry(), p, 8);
+  m.registry().finalize();
+  auto world = em3d::build(m, ids, p);
+  CONCERT_CHECK(em3d::run(m, ids, world, em3d::Version::Push), "em3d failed");
+
+  *checksum = 0.0;
+  for (const double v : em3d::extract(m, world)) *checksum += v;
+  return m.total_stats();
+}
+
+}  // namespace
+
+int main() {
+  double base_sum = 0.0;
+  bool same_results = true;
+  for (const FlushPolicy policy : {FlushPolicy::immediate(), FlushPolicy::size_threshold(8),
+                                   FlushPolicy::flush_on_idle()}) {
+    double sum = 0.0;
+    const NodeStats s = run_once(policy, &sum);
+    if (policy.buffered()) {
+      same_results = same_results && sum == base_sum;
+    } else {
+      base_sum = sum;
+    }
+    const std::uint64_t wire = s.outbox_flushes != 0 ? s.outbox_flushes : s.msgs_sent;
+    std::cout << policy.name() << ":\n"
+              << "  logical messages " << s.msgs_sent << ", wire messages " << wire;
+    if (s.outbox_flushes != 0) {
+      std::cout << " (mean bundle " << s.mean_bundle_size() << ")";
+    }
+    std::cout << "\n  messaging-layer instructions " << s.comm_instructions << "\n";
+  }
+  std::cout << "\nSame logical traffic, same answers — only the envelope count changes.\n";
+  return same_results ? 0 : 1;
+}

@@ -71,9 +71,37 @@ struct CostModel {
   std::uint32_t packet_bytes = 16;         ///< Packet payload size.
   std::uint64_t wire_latency = 300;        ///< Flight time (receiver-clock instructions).
 
+  // --- message coalescing (per-destination outboxes) ---
+  std::uint64_t outbox_stage = 4;    ///< Staging one message in an outbox bucket.
+  std::uint64_t bundle_marshal = 4;  ///< Per-element marshalling when a flush combines >1.
+  std::uint64_t bundle_demux = 6;    ///< Per-element dispatch when unpacking a bundle.
+
   /// Number of packets a message of `bytes` occupies (at least one).
   std::uint64_t packets(std::uint32_t bytes) const {
     return 1 + (bytes > 0 ? (bytes - 1) / packet_bytes : 0);
+  }
+
+  /// Sender-side cost of one plain message: fixed software overhead plus
+  /// processor-driven injection of each packet.
+  std::uint64_t send_cost(bool is_reply, std::uint32_t bytes) const {
+    return (is_reply ? reply_send_overhead : msg_send_overhead) + per_packet * packets(bytes);
+  }
+  /// Receiver-side fixed overhead of one plain message.
+  std::uint64_t recv_cost(bool is_reply) const {
+    return is_reply ? reply_recv_overhead : msg_recv_overhead;
+  }
+
+  /// Amortized sender-side cost of a bundle of `elems` staged messages: ONE
+  /// per-message overhead (request-grade if any element is a request) plus
+  /// per-packet costs for the combined payload plus per-element marshalling.
+  /// With elems == 1 callers should use send_cost (no bundle envelope).
+  std::uint64_t bundle_send_cost(bool any_invoke, std::uint32_t bytes, std::size_t elems) const {
+    return (any_invoke ? msg_send_overhead : reply_send_overhead) + per_packet * packets(bytes) +
+           bundle_marshal * elems;
+  }
+  /// Amortized receiver-side cost: one overhead plus per-element demux.
+  std::uint64_t bundle_recv_cost(bool any_invoke, std::size_t elems) const {
+    return (any_invoke ? msg_recv_overhead : reply_recv_overhead) + bundle_demux * elems;
   }
 
   /// Simulated seconds for an instruction count.

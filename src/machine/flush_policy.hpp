@@ -1,0 +1,61 @@
+// Flush policies for the comms layer's per-destination outboxes.
+//
+// The paper's premise is that fine-grained programs drown in per-message
+// software overhead (a remote invocation costs ~10x a local heap invocation
+// on the CM-5; the T3D pays a large fixed cost per message). The outbox lets
+// a node stage outgoing requests/replies per destination and ship them as one
+// bundle, amortizing the per-message overhead over many fine-grained
+// invocations. The policy decides *when* staged messages leave:
+//
+//   * Immediate     — bypass staging entirely. This is the seed behaviour and
+//                     the default: every charge, trace record and network
+//                     injection happens exactly as before, so the
+//                     determinism-sensitive tests and the Table 2-6 numbers
+//                     are bit-identical.
+//   * SizeThreshold — flush a destination as soon as `threshold` messages are
+//                     staged for it; an idle drain (below) is the backstop so
+//                     stragglers still leave.
+//   * FlushOnIdle   — stage everything; a node drains its outboxes only when
+//                     it has nothing else to do (empty ready queue and empty
+//                     inbox), maximizing coalescing at the cost of latency.
+//
+// Both engines guarantee progress for the buffered policies: a node with
+// staged messages and no other enabled action always flushes, and staged
+// messages count as outstanding work for quiescence detection.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace concert {
+
+struct FlushPolicy {
+  enum class Kind : std::uint8_t {
+    Immediate,      ///< No staging (seed behaviour; deterministic baseline).
+    SizeThreshold,  ///< Flush a destination at `threshold` staged messages.
+    FlushOnIdle,    ///< Drain only when ready queue and inbox are empty.
+  };
+
+  Kind kind = Kind::Immediate;
+  std::size_t threshold = 8;  ///< SizeThreshold only.
+
+  static FlushPolicy immediate() { return {}; }
+  static FlushPolicy size_threshold(std::size_t k) {
+    return {Kind::SizeThreshold, k > 0 ? k : 1};
+  }
+  static FlushPolicy flush_on_idle() { return {Kind::FlushOnIdle, 0}; }
+
+  /// True for the policies that stage messages in the outbox.
+  bool buffered() const { return kind != Kind::Immediate; }
+
+  const char* name() const {
+    switch (kind) {
+      case Kind::Immediate: return "immediate";
+      case Kind::SizeThreshold: return "size-threshold";
+      case Kind::FlushOnIdle: return "flush-on-idle";
+    }
+    return "?";
+  }
+};
+
+}  // namespace concert

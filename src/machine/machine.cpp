@@ -11,6 +11,9 @@ Machine::Machine(std::size_t nodes, MachineConfig config) : config_(config) {
     nodes_.push_back(std::make_unique<Node>(static_cast<NodeId>(i), *this));
     if (config_.trace) nodes_.back()->tracer.enable();
   }
+  // Outboxes are sized once every node exists (a node cannot know the
+  // machine size mid-construction).
+  for (auto& n : nodes_) n->init_comms(nodes);
 }
 
 Machine::~Machine() = default;
@@ -48,6 +51,12 @@ std::uint64_t Machine::max_clock() const {
   std::uint64_t mx = 0;
   for (const auto& n : nodes_) mx = std::max(mx, n->clock());
   return mx;
+}
+
+std::size_t Machine::buffered_msgs() const {
+  std::size_t n = 0;
+  for (const auto& nd : nodes_) n += nd->outbox_pending();
+  return n;
 }
 
 std::size_t Machine::live_contexts() const {

@@ -21,6 +21,7 @@
 #include "core/registry.hpp"
 #include "core/schema.hpp"
 #include "machine/cost_model.hpp"
+#include "machine/flush_policy.hpp"
 #include "machine/node.hpp"
 
 namespace concert {
@@ -36,6 +37,10 @@ struct MachineConfig {
   /// StackThreads); when true (default, the paper's design) they live in the
   /// context.
   bool futures_in_context = true;
+  /// Comms layer: when outgoing messages leave the per-destination outboxes.
+  /// Immediate (default) bypasses staging and reproduces the seed behaviour
+  /// bit-for-bit; SizeThreshold/FlushOnIdle coalesce messages into bundles.
+  FlushPolicy flush_policy = FlushPolicy::immediate();
   std::uint64_t seed = 0x5eed;
 };
 
@@ -82,6 +87,10 @@ class Machine {
 
   /// Sum of all nodes' counters.
   NodeStats total_stats() const;
+  /// Messages staged in outboxes but not yet flushed (0 under Immediate and
+  /// after any quiescent run). Only meaningful when the machine is not
+  /// actively running.
+  std::size_t buffered_msgs() const;
   /// Makespan: the largest node clock, in instructions.
   std::uint64_t max_clock() const;
   /// Makespan in simulated seconds under this machine's cost model.

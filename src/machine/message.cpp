@@ -1,8 +1,26 @@
 #include "machine/message.hpp"
 
+#include "support/panic.hpp"
+
 namespace concert {
 
+bool Message::any_invoke() const {
+  if (kind == MsgKind::Invoke) return true;
+  if (kind != MsgKind::Bundle) return false;
+  for (const Message& e : bundle) {
+    if (e.kind == MsgKind::Invoke) return true;
+  }
+  return false;
+}
+
 std::uint32_t Message::size_bytes() const {
+  if (kind == MsgKind::Bundle) {
+    // Envelope: kind + src + dst + element count; each element then carries
+    // its own payload minus the (src, dst) pair the envelope already names.
+    std::uint32_t n = 1 + 4 + 4 + 2;
+    for (const Message& e : bundle) n += e.size_bytes() - 8;
+    return n;
+  }
   // Header: kind + src + dst + method + target + continuation.
   std::uint32_t n = 1 + 4 + 4 + 4 + 8 + Continuation::wire_size();
   n += static_cast<std::uint32_t>(args.size()) * Value::wire_size();
@@ -29,6 +47,20 @@ Message Message::reply(NodeId src, NodeId dst, Continuation k, const Value& v) {
   msg.dst = dst;
   msg.reply_to = k;
   msg.args = {v};
+  return msg;
+}
+
+Message Message::bundle_of(NodeId src, NodeId dst, std::vector<Message> elems) {
+  CONCERT_CHECK(elems.size() >= 2, "bundle of " << elems.size() << " elements (send it plain)");
+  Message msg;
+  msg.kind = MsgKind::Bundle;
+  msg.src = src;
+  msg.dst = dst;
+  for (const Message& e : elems) {
+    CONCERT_CHECK(e.dst == dst, "bundle element for node " << e.dst << " in bundle to " << dst);
+    CONCERT_CHECK(e.kind != MsgKind::Bundle, "nested bundle");
+  }
+  msg.bundle = std::move(elems);
   return msg;
 }
 

@@ -20,6 +20,7 @@ namespace concert {
 enum class MsgKind : std::uint8_t {
   Invoke,  ///< Run `method` on `target`; reply through `reply_to` if valid.
   Reply,   ///< Fill the future named by `reply_to` with args[0].
+  Bundle,  ///< Coalesced requests/replies to one destination (see `bundle`).
 };
 
 struct Message {
@@ -32,16 +33,32 @@ struct Message {
   Continuation reply_to;             ///< Invoke: result continuation. Reply: future to fill.
   std::vector<Value> args;           ///< Invoke arguments / Reply value in args[0].
 
+  /// Bundle only: the coalesced elements, in send order. Elements share this
+  /// message's (src, dst) and are never themselves bundles. On delivery each
+  /// element runs through the normal wrapper / reply-routing path; only the
+  /// per-message overhead is paid once for the whole bundle.
+  std::vector<Message> bundle;
+
   // --- simulator bookkeeping (not "on the wire") ---
   std::uint64_t deliver_at = 0;  ///< Receiver-clock time the message becomes visible.
   std::uint64_t seq = 0;         ///< Global send order; FIFO tie-break.
 
-  /// Wire size in bytes, used to count packets for the cost model.
+  bool is_bundle() const { return kind == MsgKind::Bundle; }
+  /// True if this message (or any bundled element) is an Invoke — bundles
+  /// with a request pay request-grade overhead, pure-reply bundles the
+  /// cheaper reply overhead.
+  bool any_invoke() const;
+
+  /// Wire size in bytes, used to count packets for the cost model. A bundle
+  /// shares one envelope: each element contributes its payload without a
+  /// second (src, dst) pair.
   std::uint32_t size_bytes() const;
 
   static Message invoke(NodeId src, NodeId dst, MethodId m, GlobalRef target,
                         std::vector<Value> args, Continuation reply_to);
   static Message reply(NodeId src, NodeId dst, Continuation k, const Value& v);
+  /// Wraps >= 2 staged messages (all with dst `dst`) into one bundle.
+  static Message bundle_of(NodeId src, NodeId dst, std::vector<Message> elems);
 };
 
 }  // namespace concert

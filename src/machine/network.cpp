@@ -20,20 +20,23 @@ void SimNetwork::inject(Message msg, std::uint64_t sender_clock) {
   last = at;
   msg.deliver_at = at;
   msg.seq = next_seq_++;
-  queues_[msg.dst].push(std::move(msg));
+  auto& q = queues_[msg.dst];
+  q.push_back(std::move(msg));
+  std::push_heap(q.begin(), q.end(), Later{});
   ++in_flight_;
 }
 
 std::uint64_t SimNetwork::earliest_for(NodeId dst) const {
   const auto& q = queues_[dst];
-  return q.empty() ? UINT64_MAX : q.top().deliver_at;
+  return q.empty() ? UINT64_MAX : q.front().deliver_at;
 }
 
 Message SimNetwork::pop_for(NodeId dst) {
   auto& q = queues_[dst];
   CONCERT_CHECK(!q.empty(), "pop from empty network queue for node " << dst);
-  Message m = q.top();
-  q.pop();
+  std::pop_heap(q.begin(), q.end(), Later{});
+  Message m = std::move(q.back());
+  q.pop_back();
   --in_flight_;
   return m;
 }

@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 #include "machine/cost_model.hpp"
@@ -27,7 +26,9 @@ class SimNetwork {
   /// Earliest deliver_at of any message destined for `dst`, or UINT64_MAX.
   std::uint64_t earliest_for(NodeId dst) const;
 
-  /// Pops the earliest message for `dst`. Must be non-empty.
+  /// Pops the earliest message for `dst` (moved out, payload and all — a
+  /// bundle's element vector never gets copied on delivery). Must be
+  /// non-empty.
   Message pop_for(NodeId dst);
 
   bool empty_for(NodeId dst) const;
@@ -36,6 +37,9 @@ class SimNetwork {
   std::size_t in_flight() const { return in_flight_; }
 
  private:
+  /// Heap comparator: the max element under `Later` is the message with the
+  /// smallest (deliver_at, seq) — a unique key, so pop order is a total
+  /// order independent of heap internals.
   struct Later {
     bool operator()(const Message& a, const Message& b) const {
       if (a.deliver_at != b.deliver_at) return a.deliver_at > b.deliver_at;
@@ -45,7 +49,9 @@ class SimNetwork {
 
   const CostModel& costs_;
   std::size_t nnodes_;
-  std::vector<std::priority_queue<Message, std::vector<Message>, Later>> queues_;
+  /// Per-destination min-heaps (std::push_heap/pop_heap over a plain vector,
+  /// so pop can *move* the message out instead of copying off top()).
+  std::vector<std::vector<Message>> queues_;
   std::vector<std::uint64_t> channel_last_;  ///< [src*n+dst] last deliver_at, for FIFO.
   std::uint64_t next_seq_ = 0;
   std::size_t in_flight_ = 0;

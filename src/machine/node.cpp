@@ -17,7 +17,10 @@ MethodRegistry& Node::registry() { return machine_.registry(); }
 const CostModel& Node::costs() const { return machine_.config().costs; }
 ExecMode Node::mode() const { return machine_.config().mode; }
 FallbackPolicy Node::fallback_policy() const { return machine_.config().policy; }
+const FlushPolicy& Node::comms_policy() const { return machine_.config().flush_policy; }
 bool Node::futures_in_context() const { return machine_.config().futures_in_context; }
+
+void Node::init_comms(std::size_t nodes) { outbox_.reset(nodes); }
 
 Context& Node::alloc_context(MethodId m) {
   return alloc_context_raw(m, registry().info(m).frame_slots);
@@ -128,23 +131,100 @@ std::uint32_t Node::arena_gen_of(ContextId id) {
 void Node::send(Message msg) {
   msg.src = id_;
   const bool is_reply = msg.kind == MsgKind::Reply;
-  // Fixed software overhead plus processor-driven injection of each packet
-  // (on the CM-5 every extra packet costs nearly another active message).
-  charge((is_reply ? costs().reply_send_overhead : costs().msg_send_overhead) +
-         costs().per_packet * costs().packets(msg.size_bytes()));
+  if (!comms_policy().buffered()) {
+    // Immediate: fixed software overhead plus processor-driven injection of
+    // each packet (on the CM-5 every extra packet costs nearly another
+    // active message).
+    const std::uint64_t c = costs().send_cost(is_reply, msg.size_bytes());
+    charge(c);
+    stats.comm_instructions += c;
+    tracer.record(clock_, TraceKind::MsgSend, msg.method);
+    ++stats.msgs_sent;
+    if (is_reply) ++stats.replies_sent;
+    stats.bytes_sent += msg.size_bytes();
+    machine_.route(*this, std::move(msg));
+    return;
+  }
+  // Buffered: stage in the per-destination outbox; the network only sees the
+  // message at flush time. A staged message counts as outstanding work so
+  // quiescence detection stays sound in both engines.
+  charge(costs().outbox_stage);
+  stats.comm_instructions += costs().outbox_stage;
   tracer.record(clock_, TraceKind::MsgSend, msg.method);
   ++stats.msgs_sent;
   if (is_reply) ++stats.replies_sent;
-  stats.bytes_sent += msg.size_bytes();
-  machine_.route(*this, std::move(msg));
+  const NodeId dst = msg.dst;
+  outbox_.push(std::move(msg));
+  machine_.on_work_created();
+  const FlushPolicy& pol = comms_policy();
+  if (pol.kind == FlushPolicy::Kind::SizeThreshold && outbox_.pending(dst) >= pol.threshold) {
+    flush_outbox(dst);
+  }
+}
+
+void Node::flush_outbox(NodeId dst) {
+  std::vector<Message> staged = outbox_.drain(dst);
+  if (staged.empty()) return;
+  const std::size_t n = staged.size();
+  Message out = n == 1 ? std::move(staged.front())
+                       : Message::bundle_of(id_, dst, std::move(staged));
+  // Amortized accounting: one per-message overhead for the whole bundle plus
+  // per-packet costs for the combined payload (a bundle of one is charged
+  // exactly like a plain send).
+  const std::uint64_t c =
+      n == 1 ? costs().send_cost(out.kind == MsgKind::Reply, out.size_bytes())
+             : costs().bundle_send_cost(out.any_invoke(), out.size_bytes(), n);
+  charge(c);
+  stats.comm_instructions += c;
+  stats.bytes_sent += out.size_bytes();
+  ++stats.outbox_flushes;
+  stats.record_bundle(n);
+  if (n > 1) {
+    ++stats.bundles_sent;
+    stats.msgs_coalesced += n;
+  }
+  tracer.record(clock_, TraceKind::OutboxFlush, kInvalidMethod);
+  machine_.route(*this, std::move(out));
+  // Retire the staged elements' outstanding-work credits only after the
+  // bundle's own credit exists (Dijkstra counting stays non-zero throughout).
+  for (std::size_t i = 0; i < n; ++i) machine_.on_work_retired();
+}
+
+std::size_t Node::flush_all_outboxes() {
+  std::size_t flushed = 0;
+  while (!outbox_.empty()) {
+    const NodeId dst = outbox_.first_nonempty();
+    flushed += outbox_.pending(dst);
+    flush_outbox(dst);
+  }
+  return flushed;
 }
 
 void Node::deliver(Message& msg) {
+  if (msg.is_bundle()) {
+    const std::size_t n = msg.bundle.size();
+    const std::uint64_t c = costs().bundle_recv_cost(msg.any_invoke(), n);
+    charge(c);
+    stats.comm_instructions += c;
+    ++stats.bundles_received;
+    for (Message& e : msg.bundle) {
+      ++stats.msgs_received;
+      tracer.record(clock_, TraceKind::MsgRecv, e.method);
+      deliver_element(e);
+    }
+    return;
+  }
   const bool is_reply = msg.kind == MsgKind::Reply;
-  charge(is_reply ? costs().reply_recv_overhead : costs().msg_recv_overhead);
+  const std::uint64_t c = costs().recv_cost(is_reply);
+  charge(c);
+  stats.comm_instructions += c;
   ++stats.msgs_received;
   tracer.record(clock_, TraceKind::MsgRecv, msg.method);
-  if (is_reply) {
+  deliver_element(msg);
+}
+
+void Node::deliver_element(Message& msg) {
+  if (msg.kind == MsgKind::Reply) {
     // Replies may carry several values, filling consecutive slots (the
     // multiple-return-values extension).
     for (std::size_t i = 0; i < msg.args.size(); ++i) {

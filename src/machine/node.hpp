@@ -17,7 +17,9 @@
 #include "core/inject.hpp"
 #include "core/schema.hpp"
 #include "machine/cost_model.hpp"
+#include "machine/flush_policy.hpp"
 #include "machine/message.hpp"
+#include "machine/outbox.hpp"
 #include "machine/trace.hpp"
 #include "objects/object_space.hpp"
 #include "support/rng.hpp"
@@ -41,6 +43,7 @@ class Node {
   const CostModel& costs() const;
   ExecMode mode() const;
   FallbackPolicy fallback_policy() const;
+  const FlushPolicy& comms_policy() const;
   bool futures_in_context() const;  ///< Ablation A2 switch.
 
   // ---- simulated clock ----
@@ -76,11 +79,29 @@ class Node {
   bool run_one();
 
   // ---- messaging ----
-  /// Charges send overhead + packet costs and hands the message to the
-  /// machine for routing. Works for both engines.
+  /// Logically sends a message. Under FlushPolicy::Immediate this charges
+  /// send overhead + packet costs and hands the message to the machine for
+  /// routing right away (the seed behaviour, bit-for-bit). Under a buffered
+  /// policy the message is staged in the per-destination outbox and leaves at
+  /// flush time, amortizing the per-message overhead over the whole bundle.
+  /// Works for both engines.
   void send(Message msg);
-  /// Processes one delivered message (wrapper execution / reply routing).
+  /// Processes one delivered message. Bundles are unpacked here: each element
+  /// runs through the same wrapper / reply-routing path as a plain message,
+  /// but the per-message receive overhead is paid once per bundle.
   void deliver(Message& msg);
+
+  // ---- outbox (comms layer) ----
+  /// Called once by the machine after all nodes exist; sizes the outbox.
+  void init_comms(std::size_t nodes);
+  std::size_t outbox_pending() const { return outbox_.total(); }
+  bool outbox_empty() const { return outbox_.empty(); }
+  /// Drains one destination into a single network message (a bundle if more
+  /// than one message is staged), charging the amortized bundle cost.
+  void flush_outbox(NodeId dst);
+  /// Drains every destination in ascending id order (deterministic).
+  /// Returns the number of staged messages that left.
+  std::size_t flush_all_outboxes();
 
   /// Thread-safe inbox used by the threaded engine (the deterministic engine
   /// keeps undelivered messages in SimNetwork instead).
@@ -114,6 +135,9 @@ class Node {
 
  private:
   std::uint32_t arena_gen_of(ContextId id);
+  /// Reply fill / wrapper execution shared by plain messages and bundle
+  /// elements (per-message overhead already charged by deliver()).
+  void deliver_element(Message& msg);
 
   NodeId id_;
   Machine& machine_;
@@ -122,6 +146,7 @@ class Node {
   std::deque<ContextId> ready_;  ///< FIFO of ready contexts (by id; gen checked at pop).
   std::deque<Message> inbox_;
   std::mutex inbox_mu_;
+  Outbox outbox_;  ///< Staged outgoing messages; touched only by this node's thread.
   ObjectSpace objects_;
   BlockInjector injector_;
 };

@@ -14,19 +14,26 @@ void SimMachine::run_until_quiescent() {
   while (true) {
     // Pick the enabled action with the smallest timestamp. Message delivery
     // beats context execution at equal time; node id breaks remaining ties.
+    // A node whose ready queue and inbox are both empty but whose outbox
+    // holds staged messages gets a flush action instead — buffered messages
+    // thus count as outstanding work, and no node is declared idle while it
+    // still owes the network a flush.
     NodeId best_node = kInvalidNode;
     std::uint64_t best_t = UINT64_MAX;
     bool best_is_msg = false;
+    bool best_is_flush = false;
 
     for (std::size_t i = 0; i < n; ++i) {
       Node& nd = *nodes_[i];
-      if (!network_.empty_for(static_cast<NodeId>(i))) {
+      const bool inbox_empty = network_.empty_for(static_cast<NodeId>(i));
+      if (!inbox_empty) {
         const std::uint64_t t =
             std::max(nd.clock(), network_.earliest_for(static_cast<NodeId>(i)));
         if (t < best_t || (t == best_t && !best_is_msg)) {
           best_t = t;
           best_node = static_cast<NodeId>(i);
           best_is_msg = true;
+          best_is_flush = false;
         }
       }
       if (nd.has_ready()) {
@@ -35,6 +42,15 @@ void SimMachine::run_until_quiescent() {
           best_t = t;
           best_node = static_cast<NodeId>(i);
           best_is_msg = false;
+          best_is_flush = false;
+        }
+      } else if (inbox_empty && !nd.outbox_empty()) {
+        const std::uint64_t t = nd.clock();
+        if (t < best_t) {
+          best_t = t;
+          best_node = static_cast<NodeId>(i);
+          best_is_msg = false;
+          best_is_flush = true;
         }
       }
     }
@@ -46,6 +62,8 @@ void SimMachine::run_until_quiescent() {
       Message msg = network_.pop_for(best_node);
       nd.advance_clock_to(msg.deliver_at);
       nd.deliver(msg);
+    } else if (best_is_flush) {
+      nd.flush_all_outboxes();
     } else {
       nd.run_one();
     }

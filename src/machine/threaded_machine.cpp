@@ -36,6 +36,12 @@ void ThreadedMachine::node_loop(NodeId id) {
       work_retired();  // retires the dequeued context's enqueue +1
       continue;
     }
+    // Idle drain: ready queue and inbox are both empty, so any staged
+    // outbox messages leave now. Each staged message holds a +1 on the
+    // outstanding-work counter (added in Node::send, retired at flush after
+    // the bundle's own +1 exists), so quiescence cannot be declared while a
+    // message sits in an outbox.
+    if (nd.flush_all_outboxes() > 0) continue;
     if (stop_.load(std::memory_order_acquire)) break;
     std::this_thread::yield();
   }

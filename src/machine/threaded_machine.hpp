@@ -26,6 +26,7 @@ class ThreadedMachine final : public Machine {
   void run_until_quiescent() override;
 
   void on_work_created() override { work_created(); }
+  void on_work_retired() override { work_retired(); }
 
   /// Work accounting, called by the shared runtime via Machine hooks.
   void work_created() { outstanding_.fetch_add(1, std::memory_order_acq_rel); }

@@ -15,6 +15,7 @@ const char* trace_kind_name(TraceKind k) {
     case TraceKind::Suspend: return "suspend";
     case TraceKind::Resume: return "resume";
     case TraceKind::StackRun: return "stack_run";
+    case TraceKind::OutboxFlush: return "outbox_flush";
   }
   return "?";
 }

@@ -24,7 +24,8 @@ enum class TraceKind : std::uint8_t {
   DispatchEnd,
   Suspend,
   Resume,
-  StackRun,  ///< a wrapper executed a method on the handler stack
+  StackRun,     ///< a wrapper executed a method on the handler stack
+  OutboxFlush,  ///< an outbox destination drained into the network
 };
 
 const char* trace_kind_name(TraceKind k);

@@ -22,7 +22,29 @@ NodeStats& NodeStats::operator+=(const NodeStats& o) {
   msgs_received += o.msgs_received;
   bytes_sent += o.bytes_sent;
   replies_sent += o.replies_sent;
+  outbox_flushes += o.outbox_flushes;
+  bundles_sent += o.bundles_sent;
+  bundles_received += o.bundles_received;
+  msgs_coalesced += o.msgs_coalesced;
+  comm_instructions += o.comm_instructions;
+  for (std::size_t i = 0; i < kBundleBuckets; ++i) bundle_size_hist[i] += o.bundle_size_hist[i];
   return *this;
+}
+
+void NodeStats::record_bundle(std::size_t n) {
+  std::size_t b;
+  if (n <= 4) {
+    b = n > 0 ? n - 1 : 0;
+  } else if (n <= 8) {
+    b = 4;
+  } else if (n <= 16) {
+    b = 5;
+  } else if (n <= 32) {
+    b = 6;
+  } else {
+    b = 7;
+  }
+  ++bundle_size_hist[b];
 }
 
 std::string NodeStats::summary() const {
@@ -36,7 +58,13 @@ std::string NodeStats::summary() const {
      << "continuations: created=" << continuations_created << " forwarded="
      << continuations_forwarded << "\n"
      << "messages: sent=" << msgs_sent << " recv=" << msgs_received << " bytes=" << bytes_sent
-     << " replies=" << replies_sent << "\n";
+     << " replies=" << replies_sent << "\n"
+     << "comms: flushes=" << outbox_flushes << " bundles=" << bundles_sent << " coalesced="
+     << msgs_coalesced << " mean_bundle=" << mean_bundle_size() << " overhead_insns="
+     << comm_instructions << "\n"
+     << "bundle size hist [1,2,3,4,5-8,9-16,17-32,33+]:";
+  for (std::size_t i = 0; i < kBundleBuckets; ++i) os << " " << bundle_size_hist[i];
+  os << "\n";
   return os.str();
 }
 

@@ -33,11 +33,34 @@ struct NodeStats {
   std::uint64_t continuations_created = 0;
   std::uint64_t continuations_forwarded = 0;
 
-  // Messaging.
+  // Messaging. msgs_sent/received count *logical* messages (bundle elements,
+  // not bundle envelopes), so the sent == received conservation law holds
+  // under every flush policy; bytes_sent counts actual wire bytes.
   std::uint64_t msgs_sent = 0;
   std::uint64_t msgs_received = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t replies_sent = 0;
+
+  // Comms layer (per-destination outboxes, message coalescing).
+  std::uint64_t outbox_flushes = 0;    ///< Outbox drains (one network message each).
+  std::uint64_t bundles_sent = 0;      ///< Flushes that combined >1 staged message.
+  std::uint64_t bundles_received = 0;
+  std::uint64_t msgs_coalesced = 0;    ///< Logical messages that left inside a bundle.
+  std::uint64_t comm_instructions = 0; ///< Instructions charged to messaging overhead
+                                       ///< (send/recv/stage/flush; excludes wire latency).
+
+  /// Flush-size histogram buckets: 1, 2, 3, 4, 5-8, 9-16, 17-32, 33+.
+  static constexpr std::size_t kBundleBuckets = 8;
+  std::uint64_t bundle_size_hist[kBundleBuckets] = {};
+
+  /// Records one flush of `n` staged messages into the histogram.
+  void record_bundle(std::size_t n);
+  /// Mean staged messages per flush (0 when nothing was ever flushed).
+  double mean_bundle_size() const {
+    return outbox_flushes ? static_cast<double>(msgs_coalesced + (outbox_flushes - bundles_sent)) /
+                                static_cast<double>(outbox_flushes)
+                          : 0.0;
+  }
 
   NodeStats& operator+=(const NodeStats& o);
 

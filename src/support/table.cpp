@@ -69,4 +69,15 @@ std::string fmt_double(double v, int prec) {
 
 std::string fmt_speedup(double v) { return fmt_double(v, 2) + "x"; }
 
+std::string fmt_count(std::uint64_t v) { return std::to_string(v); }
+
+std::string fmt_bytes(std::uint64_t bytes) {
+  if (bytes < 1024) return std::to_string(bytes) + "B";
+  const double kb = static_cast<double>(bytes) / 1024.0;
+  if (kb < 1024.0) return fmt_double(kb, 1) + "KB";
+  const double mb = kb / 1024.0;
+  if (mb < 1024.0) return fmt_double(mb, 1) + "MB";
+  return fmt_double(mb / 1024.0, 1) + "GB";
+}
+
 }  // namespace concert

@@ -2,6 +2,7 @@
 // paper-style tables (Tables 2-6 of the SC'95 paper).
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -42,5 +43,11 @@ std::string fmt_double(double v, int prec = 3);
 
 /// Formats a ratio like "2.31x".
 std::string fmt_speedup(double v);
+
+/// Formats an event count: plain digits ("249976").
+std::string fmt_count(std::uint64_t v);
+
+/// Formats a byte volume human-readably: "512B", "14.2KB", "7.3MB".
+std::string fmt_bytes(std::uint64_t bytes);
 
 }  // namespace concert

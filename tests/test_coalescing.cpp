@@ -1,0 +1,272 @@
+// The comms layer: per-destination outboxes, flush policies and message
+// bundles. Covers the Outbox container, bundle construction/accounting,
+// quiescence under the buffered policies on BOTH engines (a final reply
+// sitting in an outbox must still terminate the run), determinism of the
+// buffered sim runs, result correctness under every policy, and the
+// amortization claim itself (bundling cuts messaging-overhead instructions).
+#include <gtest/gtest.h>
+
+#include "apps/em3d/em3d.hpp"
+#include "machine/outbox.hpp"
+#include "test_util.hpp"
+
+namespace concert {
+namespace {
+
+using testing::test_config;
+
+MachineConfig buffered_config(FlushPolicy policy,
+                              ExecMode mode = ExecMode::Hybrid3,
+                              CostModel costs = CostModel::workstation()) {
+  MachineConfig cfg = test_config(mode, costs);
+  cfg.flush_policy = policy;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Outbox container.
+
+Message mk(NodeId src, NodeId dst, int tag) {
+  return Message::invoke(src, dst, static_cast<MethodId>(tag), kNoObject, {}, {});
+}
+
+TEST(OutboxTest, StagesPerDestinationInOrder) {
+  Outbox ob;
+  ob.reset(4);
+  EXPECT_TRUE(ob.empty());
+  ob.push(mk(0, 2, 1));
+  ob.push(mk(0, 3, 2));
+  ob.push(mk(0, 2, 3));
+  EXPECT_EQ(ob.total(), 3u);
+  EXPECT_EQ(ob.pending(2), 2u);
+  EXPECT_EQ(ob.pending(3), 1u);
+  EXPECT_EQ(ob.pending(1), 0u);
+  EXPECT_EQ(ob.first_nonempty(), 2u);
+
+  const auto for2 = ob.drain(2);
+  ASSERT_EQ(for2.size(), 2u);
+  EXPECT_EQ(for2[0].method, 1u);  // send order preserved
+  EXPECT_EQ(for2[1].method, 3u);
+  EXPECT_EQ(ob.total(), 1u);
+  EXPECT_EQ(ob.first_nonempty(), 3u);
+
+  ob.drain(3);
+  EXPECT_TRUE(ob.empty());
+  EXPECT_EQ(ob.first_nonempty(), kInvalidNode);
+}
+
+TEST(OutboxTest, ResetClears) {
+  Outbox ob;
+  ob.reset(2);
+  ob.push(mk(0, 1, 1));
+  ob.reset(2);
+  EXPECT_TRUE(ob.empty());
+  EXPECT_EQ(ob.pending(1), 0u);
+}
+
+TEST(OutboxTest, RejectsBadDestination) {
+  Outbox ob;
+  ob.reset(2);
+  EXPECT_THROW(ob.push(mk(0, 5, 1)), ProtocolError);
+  EXPECT_THROW(ob.drain(5), ProtocolError);
+}
+
+// ---------------------------------------------------------------------------
+// FlushPolicy and bundle messages.
+
+TEST(FlushPolicyTest, Basics) {
+  EXPECT_FALSE(FlushPolicy::immediate().buffered());
+  EXPECT_TRUE(FlushPolicy::size_threshold(4).buffered());
+  EXPECT_TRUE(FlushPolicy::flush_on_idle().buffered());
+  EXPECT_EQ(FlushPolicy::size_threshold(4).threshold, 4u);
+  EXPECT_EQ(FlushPolicy::size_threshold(0).threshold, 1u);  // clamped
+  EXPECT_STREQ(FlushPolicy::immediate().name(), "immediate");
+  EXPECT_STREQ(FlushPolicy::size_threshold(8).name(), "size-threshold");
+  EXPECT_STREQ(FlushPolicy::flush_on_idle().name(), "flush-on-idle");
+}
+
+TEST(BundleTest, CarriesElementsAndSharesEnvelope) {
+  std::vector<Message> elems;
+  elems.push_back(mk(0, 1, 10));
+  elems.push_back(mk(0, 1, 20));
+  elems.push_back(mk(0, 1, 30));
+  const std::uint32_t sum_alone =
+      elems[0].size_bytes() + elems[1].size_bytes() + elems[2].size_bytes();
+  const Message b = Message::bundle_of(0, 1, std::move(elems));
+  EXPECT_TRUE(b.is_bundle());
+  EXPECT_TRUE(b.any_invoke());
+  ASSERT_EQ(b.bundle.size(), 3u);
+  EXPECT_EQ(b.bundle[0].method, 10u);
+  EXPECT_EQ(b.bundle[2].method, 30u);
+  // The bundle shares one src/dst envelope: cheaper than three separate wires.
+  EXPECT_LT(b.size_bytes(), sum_alone);
+}
+
+TEST(BundleTest, AllRepliesBundleHasNoInvoke) {
+  const Continuation k{ContextRef{1, 2, 3}, 0, false};
+  std::vector<Message> elems;
+  elems.push_back(Message::reply(0, 1, k, Value{1}));
+  elems.push_back(Message::reply(0, 1, k, Value{2}));
+  const Message b = Message::bundle_of(0, 1, std::move(elems));
+  EXPECT_TRUE(b.is_bundle());
+  EXPECT_FALSE(b.any_invoke());
+}
+
+// ---------------------------------------------------------------------------
+// Quiescence and correctness under the buffered policies — both engines.
+// The crucial case: the reply that completes the root future is *staged* in
+// some outbox when the node otherwise goes idle; the machine must flush it
+// and terminate rather than hang or declare a bogus quiescence.
+
+struct PolicyCase {
+  FlushPolicy policy;
+  const char* label;
+};
+
+std::vector<PolicyCase> buffered_policies() {
+  return {{FlushPolicy::size_threshold(2), "threshold-2"},
+          {FlushPolicy::size_threshold(64), "threshold-64"},  // > msg count: pure idle drain
+          {FlushPolicy::flush_on_idle(), "flush-on-idle"}};
+}
+
+TEST(CoalescingQuiescence, SimEngineTerminatesAndConserves) {
+  for (const auto& pc : buffered_policies()) {
+    SCOPED_TRACE(pc.label);
+    SimMachine m(4, buffered_config(pc.policy));
+    auto ids = seqbench::register_seqbench(m.registry(), true);
+    m.registry().finalize();
+    const GlobalRef arr = seqbench::make_qsort_array(m, 3, 128, 42);
+    const Value v = m.run_main(0, ids.qsort, arr, {Value(0), Value(128)});
+    EXPECT_GT(v.as_i64(), 0);
+    EXPECT_TRUE(std::is_sorted(seqbench::array_values(m, arr).begin(),
+                               seqbench::array_values(m, arr).end()));
+    EXPECT_EQ(m.live_contexts(), 0u);
+    EXPECT_EQ(m.buffered_msgs(), 0u);
+    const NodeStats s = m.total_stats();
+    EXPECT_EQ(s.msgs_sent, s.msgs_received);
+  }
+}
+
+TEST(CoalescingQuiescence, ThreadedEngineTerminatesAndConserves) {
+  for (const auto& pc : buffered_policies()) {
+    SCOPED_TRACE(pc.label);
+    ThreadedMachine m(4, buffered_config(pc.policy));
+    auto ids = seqbench::register_seqbench(m.registry(), true);
+    m.registry().finalize();
+    const GlobalRef arr = seqbench::make_qsort_array(m, 3, 128, 42);
+    const Value v = m.run_main(0, ids.qsort, arr, {Value(0), Value(128)});
+    EXPECT_GT(v.as_i64(), 0);
+    EXPECT_TRUE(std::is_sorted(seqbench::array_values(m, arr).begin(),
+                               seqbench::array_values(m, arr).end()));
+    EXPECT_EQ(m.live_contexts(), 0u);
+    EXPECT_EQ(m.buffered_msgs(), 0u);
+    const NodeStats s = m.total_stats();
+    EXPECT_EQ(s.msgs_sent, s.msgs_received);
+  }
+}
+
+TEST(CoalescingQuiescence, ThreadedBackToBackRunsUnderBuffering) {
+  ThreadedMachine m(2, buffered_config(FlushPolicy::flush_on_idle()));
+  auto ids = seqbench::register_seqbench(m.registry(), true);
+  m.registry().finalize();
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(m.run_main(i % 2, ids.fib, kNoObject, {Value(12)}).as_i64(),
+              seqbench::fib_c(12));
+    EXPECT_EQ(m.buffered_msgs(), 0u);
+  }
+  EXPECT_EQ(m.live_contexts(), 0u);
+}
+
+TEST(CoalescingQuiescence, SimDeterministicUnderBuffering) {
+  auto run = [](FlushPolicy policy) {
+    SimMachine m(4, buffered_config(policy));
+    auto ids = seqbench::register_seqbench(m.registry(), true);
+    m.registry().finalize();
+    const Value v = m.run_main(1, ids.tak, kNoObject, {Value(9), Value(5), Value(2)});
+    return std::tuple<std::int64_t, std::uint64_t, std::uint64_t>(v.as_i64(), m.max_clock(),
+                                                                  m.actions());
+  };
+  for (const auto& pc : buffered_policies()) {
+    SCOPED_TRACE(pc.label);
+    const auto a = run(pc.policy);
+    const auto b = run(pc.policy);
+    EXPECT_EQ(a, b);  // identical clocks and action counts, not just results
+    EXPECT_EQ(std::get<0>(a), seqbench::tak_c(9, 5, 2));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Results and accounting on a communication-heavy app.
+
+em3d::Params small_em3d() {
+  em3d::Params p;
+  p.graph_nodes = 128;
+  p.degree = 6;
+  p.iters = 2;
+  p.local_fraction = 0.05;
+  return p;
+}
+
+NodeStats run_em3d_stats(FlushPolicy policy, std::vector<double>* values = nullptr) {
+  const em3d::Params p = small_em3d();
+  SimMachine m(4, buffered_config(policy, ExecMode::Hybrid3, CostModel::cm5()));
+  auto ids = em3d::register_em3d(m.registry(), p, 4);
+  m.registry().finalize();
+  auto world = em3d::build(m, ids, p);
+  EXPECT_TRUE(em3d::run(m, ids, world, em3d::Version::Push));
+  EXPECT_EQ(m.live_contexts(), 0u);
+  EXPECT_EQ(m.buffered_msgs(), 0u);
+  if (values != nullptr) *values = em3d::extract(m, world);
+  return m.total_stats();
+}
+
+TEST(CoalescingResults, Em3dPushMatchesReferenceUnderEveryPolicy) {
+  const std::vector<double> ref = em3d::reference(small_em3d(), 4);
+  for (const FlushPolicy policy : {FlushPolicy::immediate(), FlushPolicy::size_threshold(8),
+                                   FlushPolicy::flush_on_idle()}) {
+    SCOPED_TRACE(policy.name());
+    std::vector<double> got;
+    run_em3d_stats(policy, &got);
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_NEAR(got[i], ref[i], 1e-9) << "id " << i;
+  }
+}
+
+TEST(CoalescingResults, BundlingCutsCommOverhead) {
+  // The tentpole claim: amortizing the per-message overhead over bundles cuts
+  // the instructions spent in the messaging layer by >= 15% on a low-locality
+  // push-style workload (it is far more in practice; 15% is the floor).
+  const NodeStats imm = run_em3d_stats(FlushPolicy::immediate());
+  const NodeStats thr = run_em3d_stats(FlushPolicy::size_threshold(8));
+  ASSERT_GT(imm.comm_instructions, 0u);
+  EXPECT_EQ(imm.msgs_sent, thr.msgs_sent);  // same logical traffic
+  EXPECT_LT(static_cast<double>(thr.comm_instructions),
+            0.85 * static_cast<double>(imm.comm_instructions));
+}
+
+TEST(CoalescingResults, AccountingInvariantsHold) {
+  const NodeStats s = run_em3d_stats(FlushPolicy::size_threshold(8));
+  // Every logical message left through a flush: singles contribute one each,
+  // bundles contribute msgs_coalesced in total.
+  EXPECT_GT(s.outbox_flushes, 0u);
+  EXPECT_GT(s.bundles_sent, 0u);
+  EXPECT_EQ(s.msgs_coalesced + (s.outbox_flushes - s.bundles_sent), s.msgs_sent);
+  EXPECT_EQ(s.bundles_sent, s.bundles_received);
+  EXPECT_GE(s.mean_bundle_size(), 1.0);
+  // The histogram records exactly one entry per flush.
+  std::uint64_t hist_total = 0;
+  for (std::size_t b = 0; b < NodeStats::kBundleBuckets; ++b) hist_total += s.bundle_size_hist[b];
+  EXPECT_EQ(hist_total, s.outbox_flushes);
+}
+
+TEST(CoalescingResults, ImmediateStaysOnSeedPath) {
+  const NodeStats s = run_em3d_stats(FlushPolicy::immediate());
+  EXPECT_EQ(s.outbox_flushes, 0u);
+  EXPECT_EQ(s.bundles_sent, 0u);
+  EXPECT_EQ(s.bundles_received, 0u);
+  EXPECT_EQ(s.msgs_coalesced, 0u);
+  EXPECT_GT(s.comm_instructions, 0u);  // still accounted, just never bundled
+}
+
+}  // namespace
+}  // namespace concert

@@ -65,6 +65,57 @@ TEST(SimNetwork, DeterministicTieBreakBySeq) {
   EXPECT_EQ(net.pop_for(2).method, 20u);
 }
 
+TEST(SimNetwork, SeqTieBreakHoldsAcrossManySources) {
+  // Regression for the heap rework: a large batch of messages with identical
+  // deliver_at timestamps from rotating sources must pop in injection (seq)
+  // order — the (deliver_at, seq) key is a unique total order, so pop order
+  // must not depend on heap internals.
+  SimNetwork net(5, CostModel::workstation());
+  for (int tag = 0; tag < 32; ++tag) net.inject(mk(static_cast<NodeId>(tag % 4), 4, tag), 250);
+  for (int tag = 0; tag < 32; ++tag) {
+    EXPECT_EQ(net.pop_for(4).method, static_cast<MethodId>(tag)) << "at pop " << tag;
+  }
+  EXPECT_TRUE(net.empty_for(4));
+}
+
+TEST(SimNetwork, PerChannelFifoWithInterleavedSources) {
+  // Two sources interleave sends to one destination with different payload
+  // sizes (hence different latencies). Global pop order may interleave, but
+  // within each (src, dst) channel the injection order must be preserved.
+  SimNetwork net(3, CostModel::workstation());
+  int tag = 0;
+  for (int round = 0; round < 8; ++round) {
+    for (NodeId src : {NodeId{0}, NodeId{1}}) {
+      Message m = mk(src, 2, tag++);
+      if (round % 3 == 0) m.args.assign(64, Value{1});  // occasional long message
+      net.inject(std::move(m), static_cast<std::uint64_t>(round * 10));
+    }
+  }
+  int last_from_0 = -1, last_from_1 = -1;
+  while (!net.empty_for(2)) {
+    const Message m = net.pop_for(2);
+    int& last = m.src == 0 ? last_from_0 : last_from_1;
+    EXPECT_LT(last, static_cast<int>(m.method)) << "FIFO violated on channel from " << m.src;
+    last = static_cast<int>(m.method);
+  }
+  EXPECT_EQ(net.in_flight(), 0u);
+}
+
+TEST(SimNetwork, PopMovesPayloadIntact) {
+  // pop_for moves the message out of the heap (no copy); the payload must
+  // arrive complete regardless of where the heap stored it.
+  SimNetwork net(2, CostModel::workstation());
+  Message big = mk(0, 1, 7);
+  for (int i = 0; i < 100; ++i) big.args.push_back(Value{i});
+  net.inject(mk(0, 1, 6), 0);  // a second element so the heap actually swaps
+  net.inject(std::move(big), 0);
+  ASSERT_EQ(net.pop_for(1).method, 6u);
+  const Message got = net.pop_for(1);
+  ASSERT_EQ(got.method, 7u);
+  ASSERT_EQ(got.args.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(got.args[static_cast<std::size_t>(i)].as_i64(), i);
+}
+
 TEST(SimNetwork, InFlightCountsAllDestinations) {
   SimNetwork net(4, CostModel::workstation());
   net.inject(mk(0, 1, 1), 0);
