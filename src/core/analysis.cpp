@@ -4,28 +4,30 @@
 
 namespace concert {
 
-void analyze_schemas(std::vector<MethodInfo>& methods) {
+FlowFacts compute_flow_facts(const std::vector<MethodInfo>& methods) {
   const std::size_t n = methods.size();
-  for (auto& m : methods) {
-    m.may_block = m.blocks_locally;
-    m.needs_continuation = m.uses_continuation;
-    for (MethodId c : m.callees) CONCERT_CHECK(c < n, m.name << " calls bad method id " << c);
+  FlowFacts f;
+  f.may_block.assign(n, 0);
+  f.needs_continuation.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    f.may_block[i] = methods[i].blocks_locally ? 1 : 0;
+    f.needs_continuation[i] = methods[i].uses_continuation ? 1 : 0;
   }
-  for (auto& m : methods) {
-    for (MethodId c : m.forwards_to) {
-      CONCERT_CHECK(c < n, m.name << " forwards to bad id " << c);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (MethodId c : methods[i].forwards_to) {
+      if (c >= n) continue;  // dangling edge: reported by the linter
       // Forwarding passes the continuation explicitly: the forwarder needs
       // its caller's info to hand over, and the target receives a
       // continuation it may manipulate — both ends require the CP interface.
-      m.needs_continuation = true;
-      methods[c].needs_continuation = true;
+      f.needs_continuation[i] = 1;
+      f.needs_continuation[c] = 1;
     }
   }
   // A method that can take its continuation can defer its reply arbitrarily,
   // so its callers must treat the call as blocking. Seed this before the
   // fixpoint so it propagates up the call graph.
-  for (auto& m : methods) {
-    if (m.needs_continuation) m.may_block = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (f.needs_continuation[i]) f.may_block[i] = 1;
   }
 
   // Least fixpoint; the graph is small (a program's method count), so simple
@@ -33,14 +35,13 @@ void analyze_schemas(std::vector<MethodInfo>& methods) {
   bool changed = true;
   while (changed) {
     changed = false;
-    for (auto& m : methods) {
-      if (!m.may_block) {
-        for (MethodId c : m.callees) {
-          if (methods[c].may_block) {
-            m.may_block = true;
-            changed = true;
-            break;
-          }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (f.may_block[i]) continue;
+      for (MethodId c : methods[i].callees) {
+        if (c < n && f.may_block[c]) {
+          f.may_block[i] = 1;
+          changed = true;
+          break;
         }
       }
       // (needs_continuation is not transitive over plain calls: a method that
@@ -48,19 +49,34 @@ void analyze_schemas(std::vector<MethodInfo>& methods) {
       // site; only forwarding edges — handled above — propagate the need.)
     }
   }
+  return f;
+}
 
+Schema schema_from_facts(bool may_block, bool needs_continuation) {
+  // Forwarding a continuation into a callee only makes sense if the chain
+  // can actually consume it somewhere; a forward into a subgraph that never
+  // uses continuations is treated as a plain call (matches the compiler,
+  // which would never emit the CP convention there).
+  if (needs_continuation) return Schema::ContinuationPassing;
+  if (may_block) return Schema::MayBlock;
+  return Schema::NonBlocking;
+}
+
+void analyze_schemas(std::vector<MethodInfo>& methods) {
+  const std::size_t n = methods.size();
   for (auto& m : methods) {
-    // Forwarding a continuation into a callee only makes sense if the chain
-    // can actually consume it somewhere; a forward into a subgraph that never
-    // uses continuations is treated as a plain call (matches the compiler,
-    // which would never emit the CP convention there).
-    if (m.needs_continuation) {
-      m.schema = Schema::ContinuationPassing;
-    } else if (m.may_block) {
-      m.schema = Schema::MayBlock;
-    } else {
-      m.schema = Schema::NonBlocking;
+    for (MethodId c : m.callees) CONCERT_CHECK(c < n, m.name << " calls bad method id " << c);
+    for (MethodId c : m.forwards_to) {
+      CONCERT_CHECK(c < n, m.name << " forwards to bad id " << c);
     }
+  }
+
+  const FlowFacts f = compute_flow_facts(methods);
+  for (std::size_t i = 0; i < n; ++i) {
+    MethodInfo& m = methods[i];
+    m.may_block = f.may_block[i] != 0;
+    m.needs_continuation = f.needs_continuation[i] != 0;
+    m.schema = schema_from_facts(m.may_block, m.needs_continuation);
     // Implicit locking releases at activation completion, which for a CP
     // method may be delegated through its continuation — undecidable at the
     // call site. The compiler would reject such a class; so do we.

@@ -23,7 +23,7 @@
 namespace concert {
 
 struct BarrierState {
-  explicit BarrierState(int expected) : expected(expected) {}
+  explicit BarrierState(int expected_arrivals) : expected(expected_arrivals) {}
   int expected;
   std::int64_t generation = 0;
   std::vector<Continuation> waiters;

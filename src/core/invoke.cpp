@@ -95,6 +95,7 @@ Frame::Frame(Node& nd, MethodId my_method, GlobalRef self, const CallerInfo& my_
 
 Context& Frame::materialize() {
   if (ctx_ != nullptr) return *ctx_;
+  nd_.verifier.record_block(method_);
   ctx_ = &nd_.alloc_context(method_);
   ctx_->self = self_;
   ctx_->args.assign(args_, args_ + nargs_);
@@ -124,6 +125,7 @@ void Frame::go_parallel(MethodId callee, GlobalRef target, const Value* args,
 bool Frame::call(MethodId callee, GlobalRef target, const Value* args, std::size_t nargs,
                  SlotId slot, Value* out) {
   MethodRegistry& reg = nd_.registry();
+  nd_.verifier.record_call(method_, callee);
   const Schema schema = reg.effective_schema(callee, nd_.mode());
   charge_seq_call(nd_, schema);
 
@@ -190,6 +192,7 @@ bool Frame::call(MethodId callee, GlobalRef target, const Value* args, std::size
         CONCERT_CHECK(fbk->method == method_,
                       "CP callee materialized a context for method " << fbk->method
                                                                      << ", expected " << method_);
+        nd_.verifier.record_block(method_);
         ctx_ = fbk;
         ctx_->self = self_;
         ctx_->args.assign(args_, args_ + nargs_);
@@ -209,6 +212,9 @@ bool Frame::call(MethodId callee, GlobalRef target, const Value* args, std::size
 Context* Frame::forward(MethodId callee, GlobalRef target, const Value* args,
                         std::size_t nargs, Value* ret) {
   MethodRegistry& reg = nd_.registry();
+  nd_.verifier.record_call(method_, callee);
+  nd_.verifier.record_forward(method_, callee);
+  nd_.verifier.record_cont_use(method_);
   const Schema schema = reg.effective_schema(callee, nd_.mode());
   CONCERT_CHECK(schema == Schema::ContinuationPassing,
                 "forwarding into " << reg.info(callee).name << " which is not CP");
@@ -269,6 +275,7 @@ Context* Frame::fallback(std::uint32_t resume_pc,
     case Schema::ContinuationPassing: {
       // We must arrange our own reply continuation from our CallerInfo and
       // hand the continuation's holder context back up the stack.
+      nd_.verifier.record_cont_use(method_);
       MaterializedCont mk = materialize_continuation(nd_, ci_);
       me.ret = mk.cont;
       nd_.charge(nd_.costs().linkage_install);
@@ -303,6 +310,7 @@ Context* Frame::yield_to_parallel(std::uint32_t resume_pc,
     case Schema::MayBlock:
       return &me;
     case Schema::ContinuationPassing: {
+      nd_.verifier.record_cont_use(method_);
       MaterializedCont mk = materialize_continuation(nd_, ci_);
       me.ret = mk.cont;
       nd_.charge(nd_.costs().linkage_install);
@@ -323,6 +331,7 @@ Context* Frame::yield_to_parallel(std::uint32_t resume_pc,
 void ParFrame::spawn(MethodId callee, GlobalRef target, const Value* args, std::size_t nargs,
                      SlotId slot) {
   MethodRegistry& reg = nd_.registry();
+  nd_.verifier.record_call(ctx_.method, callee);
   const bool is_remote = target.valid() && target.node != nd_.id();
   if (is_remote) {
     ++nd_.stats.remote_invokes;

@@ -17,7 +17,17 @@ MethodId MethodRegistry::declare(MethodDecl decl) {
 
 void MethodRegistry::add_callee(MethodId m, MethodId callee, bool forwards) {
   CONCERT_CHECK(!finalized_, "registry already finalized");
-  CONCERT_CHECK(m < methods_.size() && callee < methods_.size(), "bad method id");
+  // An edge to an unregistered method would silently corrupt the blocking
+  // analysis (the fixpoint would never see the callee's facts), so both
+  // endpoints must already be declared — use declare() first and wire
+  // recursive edges afterwards.
+  CONCERT_CHECK(m < methods_.size(),
+                "add_callee: caller id " << m << " is not a registered method ("
+                                         << methods_.size() << " declared)");
+  CONCERT_CHECK(callee < methods_.size(),
+                "add_callee: " << methods_[m].name << " -> " << callee
+                               << " targets an unregistered method id ("
+                               << methods_.size() << " declared)");
   methods_[m].callees.push_back(callee);
   if (forwards) methods_[m].forwards_to.push_back(callee);
 }

@@ -100,6 +100,9 @@ class MethodRegistry {
   const MethodInfo& info(MethodId m) const;
   std::size_t size() const { return methods_.size(); }
 
+  /// The full method table (the linter's input; see src/verify/lint.hpp).
+  const std::vector<MethodInfo>& methods() const { return methods_; }
+
   /// The analyzed schema.
   Schema schema(MethodId m) const { return info(m).schema; }
 

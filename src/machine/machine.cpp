@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "verify/conformance.hpp"
+
 namespace concert {
 
 Machine::Machine(std::size_t nodes, MachineConfig config) : config_(config) {
@@ -57,6 +59,10 @@ std::size_t Machine::buffered_msgs() const {
   std::size_t n = 0;
   for (const auto& nd : nodes_) n += nd->outbox_pending();
   return n;
+}
+
+void Machine::verify_at_quiescence() const {
+  if (config_.verify) verify::enforce_conformance(*this);
 }
 
 std::size_t Machine::live_contexts() const {

@@ -26,6 +26,12 @@
 
 namespace concert {
 
+#ifdef CONCERT_VERIFY
+inline constexpr bool kVerifyByDefault = true;
+#else
+inline constexpr bool kVerifyByDefault = false;
+#endif
+
 struct MachineConfig {
   CostModel costs = CostModel::workstation();
   ExecMode mode = ExecMode::Hybrid3;
@@ -42,6 +48,12 @@ struct MachineConfig {
   /// bit-for-bit; SizeThreshold/FlushOnIdle coalesce messages into bundles.
   FlushPolicy flush_policy = FlushPolicy::immediate();
   std::uint64_t seed = 0x5eed;
+  /// Dynamic conformance sanitizer (src/verify/): nodes record observed call
+  /// edges and blocking/continuation events, checked against the registry's
+  /// declared facts at quiescence. Recording is outside the cost model, so
+  /// simulated clocks and message counts are identical either way. Defaults
+  /// on when built with -DCONCERT_VERIFY; runtime-togglable per machine.
+  bool verify = kVerifyByDefault;
 };
 
 class Machine {
@@ -98,6 +110,11 @@ class Machine {
 
   /// Asserts no contexts leaked (test support): every arena's live count is 0.
   std::size_t live_contexts() const;
+
+  /// Runs the conformance sanitizer (panics on violation) when
+  /// MachineConfig::verify is set; no-op otherwise. Engines call this once
+  /// they reach quiescence.
+  void verify_at_quiescence() const;
 
  protected:
   MachineConfig config_;

@@ -11,7 +11,9 @@ Node::Node(NodeId id, Machine& machine)
       id_(id),
       machine_(machine),
       arena_(id),
-      objects_(id) {}
+      objects_(id) {
+  verifier.set_enabled(machine.config().verify);
+}
 
 MethodRegistry& Node::registry() { return machine_.registry(); }
 const CostModel& Node::costs() const { return machine_.config().costs; }
@@ -60,6 +62,7 @@ void Node::suspend(Context& ctx) {
   } else {
     ctx.status = ContextStatus::Waiting;
     ++stats.suspensions;
+    verifier.record_block(ctx.method);
     tracer.record(clock_, TraceKind::Suspend, ctx.method);
   }
 }

@@ -24,6 +24,7 @@
 #include "objects/object_space.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
+#include "verify/recorder.hpp"
 
 namespace concert {
 
@@ -132,6 +133,10 @@ class Node {
   NodeStats stats;
   SplitMix64 rng;
   Tracer tracer;
+  /// Conformance sanitizer hook (enabled from MachineConfig::verify; records
+  /// nothing and costs one branch per site when off). Touched only by this
+  /// node's thread, like the outbox. Checked by verify::check_conformance.
+  verify::VerifyRecorder verifier;
 
  private:
   std::uint32_t arena_gen_of(ContextId id);

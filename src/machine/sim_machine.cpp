@@ -69,6 +69,7 @@ void SimMachine::run_until_quiescent() {
     }
     ++actions_;
   }
+  verify_at_quiescence();
 }
 
 }  // namespace concert

@@ -62,6 +62,8 @@ void ThreadedMachine::run_until_quiescent() {
   }
   stop_.store(true, std::memory_order_release);
   for (auto& t : threads) t.join();
+  // Node threads are gone; their recorders are safe to read from here.
+  verify_at_quiescence();
 }
 
 }  // namespace concert

@@ -1,0 +1,127 @@
+#include "verify/conformance.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/registry.hpp"
+#include "machine/machine.hpp"
+#include "support/panic.hpp"
+
+namespace concert::verify {
+
+namespace {
+
+std::string name_of(const MethodRegistry& reg, MethodId m) {
+  if (m < reg.size()) return reg.info(m).name;
+  std::ostringstream os;
+  os << "#" << m;
+  return os.str();
+}
+
+bool declared(const std::vector<MethodId>& edges, MethodId target) {
+  return std::find(edges.begin(), edges.end(), target) != edges.end();
+}
+
+}  // namespace
+
+const char* violation_kind_name(ViolationKind k) {
+  switch (k) {
+    case ViolationKind::UndeclaredEdge: return "undeclared-edge";
+    case ViolationKind::UndeclaredForward: return "undeclared-forward";
+    case ViolationKind::NonBlockingBlocked: return "nb-blocked";
+    case ViolationKind::ContUseOutsideCP: return "cont-use-outside-cp";
+  }
+  return "?";
+}
+
+bool ConformanceReport::has(ViolationKind k) const { return find(k) != nullptr; }
+
+const Violation* ConformanceReport::find(ViolationKind k) const {
+  for (const Violation& v : violations) {
+    if (v.kind == k) return &v;
+  }
+  return nullptr;
+}
+
+std::string ConformanceReport::to_string() const {
+  std::ostringstream os;
+  for (const Violation& v : violations) {
+    os << "node " << v.node << ": [" << violation_kind_name(v.kind) << "] " << v.message << "\n";
+  }
+  return os.str();
+}
+
+ConformanceReport check_conformance(const Machine& mach) {
+  const MethodRegistry& reg = mach.registry();
+  CONCERT_CHECK(reg.finalized(), "conformance check before finalize");
+  const ExecMode mode = mach.config().mode;
+
+  ConformanceReport report;
+  for (NodeId n = 0; n < mach.node_count(); ++n) {
+    const VerifyRecorder& rec = mach.node(n).verifier;
+    if (!rec.enabled()) continue;
+    report.totals += rec.stats();
+
+    for (std::uint64_t k : rec.observed_calls()) {
+      const MethodId caller = VerifyRecorder::key_caller(k);
+      const MethodId callee = VerifyRecorder::key_callee(k);
+      if (caller < reg.size() && declared(reg.info(caller).callees, callee)) continue;
+      std::ostringstream os;
+      os << name_of(reg, caller) << " called " << name_of(reg, callee)
+         << " but never declared the edge (the blocking analysis ran without it)";
+      report.violations.push_back(
+          Violation{ViolationKind::UndeclaredEdge, n, caller, callee, os.str()});
+    }
+
+    for (std::uint64_t k : rec.observed_forwards()) {
+      const MethodId caller = VerifyRecorder::key_caller(k);
+      const MethodId target = VerifyRecorder::key_callee(k);
+      if (caller < reg.size() && declared(reg.info(caller).forwards_to, target)) continue;
+      std::ostringstream os;
+      os << name_of(reg, caller) << " forwarded its continuation to " << name_of(reg, target)
+         << " but never declared the forwarding edge";
+      report.violations.push_back(
+          Violation{ViolationKind::UndeclaredForward, n, caller, target, os.str()});
+    }
+
+    for (MethodId m : rec.observed_blocked()) {
+      // The *declared* schema, not the effective one: an NB method stays NB
+      // under Hybrid1/SeqOpt too (its callees are NB by the fixpoint), so a
+      // block is a soundness violation in every schema-exploiting mode.
+      // ParallelOnly is exempt: it never consults schemas, and its split-
+      // phase calling convention makes even an honest NB method's parallel
+      // version suspend on its children's replies.
+      if (mode == ExecMode::ParallelOnly) break;
+      if (m < reg.size() && reg.info(m).schema != Schema::NonBlocking) continue;
+      std::ostringstream os;
+      os << name_of(reg, m) << " was committed NonBlocking but blocked at runtime";
+      report.violations.push_back(
+          Violation{ViolationKind::NonBlockingBlocked, n, m, kInvalidMethod, os.str()});
+    }
+
+    for (MethodId m : rec.observed_cont_uses()) {
+      // The *effective* schema: Hybrid1 legally runs MB methods through the
+      // CP interface, so continuation use is judged against the interface the
+      // mode actually selected.
+      if (m < reg.size() && reg.effective_schema(m, mode) == Schema::ContinuationPassing) {
+        continue;
+      }
+      std::ostringstream os;
+      os << name_of(reg, m) << " manipulated a continuation but runs the "
+         << schema_name(m < reg.size() ? reg.effective_schema(m, mode) : Schema::NonBlocking)
+         << " interface, not CP";
+      report.violations.push_back(
+          Violation{ViolationKind::ContUseOutsideCP, n, m, kInvalidMethod, os.str()});
+    }
+  }
+  return report;
+}
+
+void enforce_conformance(const Machine& mach) {
+  const ConformanceReport report = check_conformance(mach);
+  CONCERT_CHECK(report.clean(),
+                "conformance sanitizer found " << report.violations.size()
+                                               << " violation(s):\n" << report.to_string());
+}
+
+}  // namespace concert::verify

@@ -1,0 +1,96 @@
+// Per-node event recorder: the dynamic half of concert-verify.
+//
+// When enabled (MachineConfig::verify, default on under -DCONCERT_VERIFY),
+// the invocation paths record which call edges actually executed, which
+// methods actually blocked, and which methods actually manipulated their
+// continuation. At quiescence conformance.cpp checks the observations
+// against the registry's declared facts: observed must be a subset of
+// declared, or the static analysis ran on a lie.
+//
+// The recorder is deliberately outside the cost model: it never calls
+// Node::charge(), so simulated clocks, message counts and byte counts are
+// bit-identical whether verification is on or off. Each recorder is touched
+// only by its owning node's thread (same discipline as the outbox), so the
+// threaded engine needs no locks here.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "core/ids.hpp"
+
+namespace concert::verify {
+
+/// Event counts (not deduplicated, unlike the observation sets).
+struct VerifyStats {
+  std::uint64_t calls = 0;      ///< record_call events.
+  std::uint64_t forwards = 0;   ///< record_forward events.
+  std::uint64_t blocks = 0;     ///< record_block events.
+  std::uint64_t cont_uses = 0;  ///< record_cont_use events.
+
+  VerifyStats& operator+=(const VerifyStats& o) {
+    calls += o.calls;
+    forwards += o.forwards;
+    blocks += o.blocks;
+    cont_uses += o.cont_uses;
+    return *this;
+  }
+};
+
+class VerifyRecorder {
+ public:
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool e) { enabled_ = e; }
+
+  /// An executed call edge caller -> callee. Root/proxy callers (no method
+  /// identity, so nothing declared) are skipped.
+  void record_call(MethodId caller, MethodId callee) {
+    if (!enabled_ || caller == kInvalidMethod) return;
+    ++stats_.calls;
+    calls_.insert(key(caller, callee));
+  }
+
+  /// An executed continuation-forwarding edge caller -> target.
+  void record_forward(MethodId caller, MethodId target) {
+    if (!enabled_ || caller == kInvalidMethod) return;
+    ++stats_.forwards;
+    forwards_.insert(key(caller, target));
+  }
+
+  /// Method `m` blocked: its activation fell back to the heap, or its
+  /// parallel version suspended on unfilled futures.
+  void record_block(MethodId m) {
+    if (!enabled_ || m == kInvalidMethod) return;
+    ++stats_.blocks;
+    blocked_.insert(m);
+  }
+
+  /// Method `m` materialized, stored, or handed off a continuation.
+  void record_cont_use(MethodId m) {
+    if (!enabled_ || m == kInvalidMethod) return;
+    ++stats_.cont_uses;
+    cont_used_.insert(m);
+  }
+
+  const VerifyStats& stats() const { return stats_; }
+  const std::unordered_set<std::uint64_t>& observed_calls() const { return calls_; }
+  const std::unordered_set<std::uint64_t>& observed_forwards() const { return forwards_; }
+  const std::unordered_set<MethodId>& observed_blocked() const { return blocked_; }
+  const std::unordered_set<MethodId>& observed_cont_uses() const { return cont_used_; }
+
+  static std::uint64_t key(MethodId caller, MethodId callee) {
+    return (static_cast<std::uint64_t>(caller) << 32) | callee;
+  }
+  static MethodId key_caller(std::uint64_t k) { return static_cast<MethodId>(k >> 32); }
+  static MethodId key_callee(std::uint64_t k) { return static_cast<MethodId>(k & 0xffffffffu); }
+
+ private:
+  bool enabled_ = false;
+  VerifyStats stats_;
+  std::unordered_set<std::uint64_t> calls_;
+  std::unordered_set<std::uint64_t> forwards_;
+  std::unordered_set<MethodId> blocked_;
+  std::unordered_set<MethodId> cont_used_;
+};
+
+}  // namespace concert::verify

@@ -151,6 +151,82 @@ TEST(Registry, MissingVersionsRejected) {
   EXPECT_THROW(reg.declare(std::move(d2)), ProtocolError);
 }
 
+TEST(Analysis, MutualRecursionWithoutBlockingIsNonBlocking) {
+  // Least-fixpoint minimality: a cycle with no blocking cause anywhere must
+  // settle at NB, not get rounded up because the methods reference each other.
+  MethodRegistry reg;
+  MethodId a = reg.declare(decl("a"));
+  MethodId b = reg.declare(decl("b"));
+  reg.add_callee(a, b);
+  reg.add_callee(b, a);
+  reg.finalize();
+  EXPECT_EQ(reg.schema(a), Schema::NonBlocking);
+  EXPECT_EQ(reg.schema(b), Schema::NonBlocking);
+  EXPECT_FALSE(reg.info(a).may_block);
+  EXPECT_FALSE(reg.info(b).may_block);
+}
+
+TEST(Analysis, ForwardingCycleIsCPWithoutOtherFacts) {
+  // A two-method forwarding cycle: both ends of each edge need the CP
+  // interface, and the seeded may_block must not leak anywhere else.
+  MethodRegistry reg;
+  MethodId a = reg.declare(decl("a"));
+  MethodId b = reg.declare(decl("b"));
+  MethodId bystander = reg.declare(decl("bystander"));
+  reg.add_callee(a, b, /*forwards=*/true);
+  reg.add_callee(b, a, /*forwards=*/true);
+  reg.finalize();
+  EXPECT_EQ(reg.schema(a), Schema::ContinuationPassing);
+  EXPECT_EQ(reg.schema(b), Schema::ContinuationPassing);
+  EXPECT_EQ(reg.schema(bystander), Schema::NonBlocking);
+}
+
+TEST(Analysis, ComputeFlowFactsMatchesCommittedSchemas) {
+  // The pure recomputation entry point (what the linter uses) agrees with
+  // what finalize() committed, method by method.
+  MethodRegistry reg;
+  MethodId a = reg.declare(decl("a"));
+  MethodId b = reg.declare(decl("b", /*blocks=*/true));
+  MethodId c = reg.declare(decl("c"));
+  reg.add_callee(a, b);
+  reg.add_callee(c, c, /*forwards=*/true);
+  reg.finalize();
+  const FlowFacts f = compute_flow_facts(reg.methods());
+  for (std::size_t i = 0; i < reg.size(); ++i) {
+    const MethodInfo& mi = reg.info(static_cast<MethodId>(i));
+    EXPECT_EQ(f.may_block[i] != 0, mi.may_block) << mi.name;
+    EXPECT_EQ(f.needs_continuation[i] != 0, mi.needs_continuation) << mi.name;
+    EXPECT_EQ(schema_from_facts(f.may_block[i] != 0, f.needs_continuation[i] != 0), mi.schema)
+        << mi.name;
+  }
+}
+
+TEST(Analysis, ComputeFlowFactsToleratesDanglingEdges) {
+  // Unlike finalize(), the pure recomputation must not panic on a tampered
+  // table — the linter feeds it raw method vectors to diagnose them.
+  std::vector<MethodInfo> methods(1);
+  methods[0].name = "broken";
+  methods[0].callees = {7};      // out of range
+  methods[0].forwards_to = {9};  // out of range
+  const FlowFacts f = compute_flow_facts(methods);
+  EXPECT_EQ(f.may_block[0], 0);
+  EXPECT_EQ(f.needs_continuation[0], 0);
+}
+
+TEST(Registry, AddCalleeRejectsUnregisteredEndpoints) {
+  // An edge to an id that was never declared would silently corrupt the
+  // blocking analysis; both endpoints must exist at wiring time.
+  MethodRegistry reg;
+  MethodId a = reg.declare(decl("a"));
+  EXPECT_THROW(reg.add_callee(a, 99), ProtocolError);
+  EXPECT_THROW(reg.add_callee(7, a), ProtocolError);
+  EXPECT_THROW(reg.add_callee(a, kInvalidMethod, /*forwards=*/true), ProtocolError);
+  // The registry is still usable after a rejected edge.
+  reg.add_callee(a, a);
+  reg.finalize();
+  EXPECT_EQ(reg.schema(a), Schema::NonBlocking);
+}
+
 TEST(Registry, FindByName) {
   MethodRegistry reg;
   MethodId a = reg.declare(decl("alpha"));

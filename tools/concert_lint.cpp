@@ -1,0 +1,99 @@
+// concert_lint: static schema-soundness linter for the shipped applications.
+//
+// Builds each app's method registry exactly as the benchmarks do, runs the
+// analysis, and lints the result (src/verify/lint.hpp). Exit status is the
+// total number of lint errors (0 = every registry is sound).
+//
+//   concert_lint                 lint every app
+//   concert_lint sor em3d        lint a subset
+//   concert_lint --blame         also explain every non-NB classification
+//   concert_lint --list          list known app names
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/em3d/em3d.hpp"
+#include "apps/mdforce/mdforce.hpp"
+#include "apps/seqbench/seqbench.hpp"
+#include "apps/sor/sor.hpp"
+#include "apps/synth/synth.hpp"
+#include "support/rng.hpp"
+#include "verify/lint.hpp"
+
+namespace {
+
+struct App {
+  const char* name;
+  std::function<void(concert::MethodRegistry&)> build;
+};
+
+const std::vector<App>& apps() {
+  using concert::MethodRegistry;
+  static const std::vector<App> kApps = {
+      {"sor", [](MethodRegistry& reg) { concert::sor::register_sor(reg, {}); }},
+      {"mdforce",
+       [](MethodRegistry& reg) { concert::md::register_md(reg, {}, /*nodes=*/4); }},
+      {"em3d", [](MethodRegistry& reg) { concert::em3d::register_em3d(reg, {}, /*nodes=*/4); }},
+      {"synth",
+       [](MethodRegistry& reg) {
+         concert::SplitMix64 rng(42);
+         concert::synth::register_synth(reg, concert::synth::Program::random(rng, 6, 3));
+       }},
+      {"seqbench",
+       [](MethodRegistry& reg) { concert::seqbench::register_seqbench(reg, false); }},
+      {"seqbench-dist",
+       [](MethodRegistry& reg) { concert::seqbench::register_seqbench(reg, true); }},
+  };
+  return kApps;
+}
+
+int lint_app(const App& app, bool blame) {
+  concert::MethodRegistry reg;
+  app.build(reg);
+  reg.finalize();
+  const concert::verify::LintReport report = concert::verify::lint_registry(reg);
+  std::cout << app.name << ": " << reg.size() << " methods, " << report.error_count()
+            << " error(s), " << report.warning_count() << " warning(s)\n";
+  if (!report.diagnostics.empty()) std::cout << report.to_string();
+  if (blame) std::cout << concert::verify::blame_report(reg);
+  return static_cast<int>(report.error_count());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool blame = false;
+  std::vector<std::string> wanted;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--blame") == 0) {
+      blame = true;
+    } else if (std::strcmp(argv[i], "--list") == 0) {
+      for (const App& app : apps()) std::cout << app.name << "\n";
+      return 0;
+    } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
+      std::cout << "usage: concert_lint [--blame] [--list] [app...]\n";
+      return 0;
+    } else {
+      wanted.emplace_back(argv[i]);
+    }
+  }
+
+  int errors = 0;
+  bool matched_any = false;
+  for (const App& app : apps()) {
+    if (!wanted.empty() &&
+        std::find(wanted.begin(), wanted.end(), app.name) == wanted.end()) {
+      continue;
+    }
+    matched_any = true;
+    errors += lint_app(app, blame);
+  }
+  if (!matched_any) {
+    std::cerr << "concert_lint: no app matched; try --list\n";
+    return 2;
+  }
+  return errors > 125 ? 125 : errors;
+}
