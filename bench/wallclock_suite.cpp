@@ -1,0 +1,313 @@
+// Wall-clock throughput suite for the threaded engine (the "real time" half
+// of DESIGN §3): SOR, EM3D and MD-Force plus a message-ping microbench, each
+// reported as invocations/sec and messages/sec with warmup and repetitions.
+//
+// Unlike the table benches (which report *simulated* seconds under a machine
+// cost model), this suite measures what the runtime itself costs on the host:
+// inbox handoff, dispatch, name translation, scheduling. It is the perf
+// trajectory for hot-path work — results are written to BENCH_wallclock.json
+// so successive PRs can compare like against like.
+//
+//   wallclock_suite [--smoke] [--reps N] [--json PATH]
+//
+// --smoke shrinks every workload to a few hundred milliseconds total (the CI
+// configuration); --json chooses the output path (default
+// BENCH_wallclock.json in the working directory).
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "apps/em3d/em3d.hpp"
+#include "apps/mdforce/mdforce.hpp"
+#include "apps/sor/sor.hpp"
+#include "bench_util.hpp"
+#include "core/invoke.hpp"
+#include "core/wrapper.hpp"
+#include "machine/threaded_machine.hpp"
+
+namespace concert {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Message-ping microbench: a ring of one object per node; each hop forwards
+// the continuation to the next node's object, so every hop is exactly one
+// invoke message plus one wrapper execution — the purest per-message
+// software-overhead probe we have. K independent tokens circulate at once so
+// the destination inbox sees concurrent producers.
+// ---------------------------------------------------------------------------
+
+struct PingObj {
+  GlobalRef next;
+};
+
+inline constexpr std::uint32_t kPingType = 0x9106u;
+
+MethodId g_ping = kInvalidMethod;
+
+Context* ping_seq(Node& nd, Value* ret, const CallerInfo& ci, GlobalRef self, const Value* args,
+                  std::size_t nargs) {
+  const std::int64_t hops = args[0].as_i64();
+  if (hops <= 0) {
+    *ret = Value(std::int64_t{1});
+    return nullptr;
+  }
+  PingObj& obj = nd.objects().get<PingObj>(self);
+  Frame f(nd, g_ping, self, ci, args, nargs);
+  return f.forward(g_ping, obj.next, {Value(hops - 1)}, ret);
+}
+
+void ping_par(Node& nd, Context& ctx) {
+  const std::int64_t hops = ctx.args[0].as_i64();
+  Continuation k = ctx.ret;
+  const GlobalRef self = ctx.self;
+  nd.free_context(ctx);
+  if (hops <= 0) {
+    nd.reply_to(k, Value(std::int64_t{1}));
+    return;
+  }
+  PingObj& obj = nd.objects().get<PingObj>(self);
+  k.forwarded = true;
+  ++nd.stats.continuations_forwarded;
+  const Value next{hops - 1};
+  invoke_with_continuation(nd, g_ping, obj.next, &next, 1, k);
+}
+
+MethodId register_ping(MethodRegistry& reg) {
+  MethodDecl d;
+  d.name = "ping";
+  d.seq = ping_seq;
+  d.par = ping_par;
+  d.frame_slots = 0;
+  d.arg_count = 1;
+  g_ping = reg.declare(std::move(d));
+  reg.add_callee(g_ping, g_ping, /*forwards=*/true);
+  return g_ping;
+}
+
+// ---------------------------------------------------------------------------
+// Harness
+// ---------------------------------------------------------------------------
+
+struct WorkloadResult {
+  std::string name;
+  int reps = 0;
+  double best_wall_s = 0.0;
+  double mean_wall_s = 0.0;
+  std::uint64_t invocations = 0;  ///< per measured rep (local + remote).
+  std::uint64_t msgs = 0;         ///< per measured rep (logical messages sent).
+  double inv_per_s = 0.0;         ///< at the best wall time.
+  double msgs_per_s = 0.0;
+  // Hot-path instrumentation (per measured rep, summed over nodes).
+  double mean_inbox_batch = 0.0;
+  std::uint64_t loc_cache_hits = 0;
+  std::uint64_t loc_cache_misses = 0;
+};
+
+MachineConfig wallclock_config() {
+  MachineConfig cfg;
+  cfg.mode = ExecMode::Hybrid3;
+  cfg.costs = CostModel::workstation();
+  cfg.verify = false;  // perf run: the sanitizer is measured elsewhere
+  return cfg;
+}
+
+/// Runs `body` (one full quiescent run) warmup+reps times, measuring stats
+/// deltas of the measured repetitions.
+template <typename Body>
+WorkloadResult measure(const std::string& name, Machine& m, int warmup, int reps, Body&& body) {
+  WorkloadResult r;
+  r.name = name;
+  r.reps = reps;
+  for (int i = 0; i < warmup; ++i) body();
+  double sum = 0.0;
+  double best = -1.0;
+  NodeStats first_delta;
+  for (int i = 0; i < reps; ++i) {
+    const NodeStats before = m.total_stats();
+    bench::WallTimer t;
+    body();
+    const double s = t.seconds();
+    NodeStats after = m.total_stats();
+    sum += s;
+    if (best < 0 || s < best) best = s;
+    if (i == 0) {
+      first_delta = after;
+      // Only the per-rep counter deltas matter; the subtraction is done
+      // field-by-field below for the handful we report.
+      r.invocations = (after.local_invokes + after.remote_invokes) -
+                      (before.local_invokes + before.remote_invokes);
+      r.msgs = after.msgs_sent - before.msgs_sent;
+      r.loc_cache_hits = after.loc_cache_hits - before.loc_cache_hits;
+      r.loc_cache_misses = after.loc_cache_misses - before.loc_cache_misses;
+      const std::uint64_t batches = after.inbox_batches - before.inbox_batches;
+      const std::uint64_t drained = after.inbox_batched_msgs - before.inbox_batched_msgs;
+      r.mean_inbox_batch = batches ? static_cast<double>(drained) / static_cast<double>(batches)
+                                   : 0.0;
+    }
+  }
+  r.best_wall_s = best;
+  r.mean_wall_s = sum / reps;
+  r.inv_per_s = best > 0 ? static_cast<double>(r.invocations) / best : 0.0;
+  r.msgs_per_s = best > 0 ? static_cast<double>(r.msgs) / best : 0.0;
+  return r;
+}
+
+WorkloadResult run_ping(bool smoke, int reps) {
+  const std::size_t nodes = 2;
+  const std::size_t tokens = 4;
+  const std::int64_t hops = smoke ? 2000 : 20000;
+  ThreadedMachine m(nodes, wallclock_config());
+  register_ping(m.registry());
+  m.registry().finalize();
+
+  // Ring: one object per node, each pointing at the next node's object.
+  std::vector<PingObj*> objs;
+  std::vector<GlobalRef> refs;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    auto [ref, obj] = m.node(static_cast<NodeId>(i)).objects().create<PingObj>(kPingType);
+    refs.push_back(ref);
+    objs.push_back(obj);
+  }
+  for (std::size_t i = 0; i < nodes; ++i) objs[i]->next = refs[(i + 1) % nodes];
+
+  auto body = [&] {
+    // K concurrent tokens: a K-slot root proxy collects one reply per token
+    // (the same seeding run_main performs, widened to K futures).
+    Node& nd = m.node(0);
+    Context& root = nd.alloc_context_raw(kInvalidMethod, tokens);
+    root.status = ContextStatus::Proxy;
+    for (std::size_t k = 0; k < tokens; ++k) root.expect(static_cast<SlotId>(k));
+    for (std::size_t k = 0; k < tokens; ++k) {
+      const GlobalRef start = refs[k % nodes];
+      nd.send(Message::invoke(0, start.node, g_ping, start, {Value(hops)},
+                              Continuation{root.ref(), static_cast<SlotId>(k)}));
+    }
+    m.run_until_quiescent();
+    for (std::size_t k = 0; k < tokens; ++k) {
+      CONCERT_CHECK(root.slot_full(static_cast<SlotId>(k)), "ping token " << k << " lost");
+    }
+    nd.free_context(root);
+  };
+  return measure("ping", m, /*warmup=*/1, reps, body);
+}
+
+WorkloadResult run_sor(bool smoke, int reps) {
+  sor::Params p;
+  p.n = smoke ? 32 : 64;
+  p.pgrid = 2;
+  p.block = 8;
+  p.iters = smoke ? 2 : 4;
+  ThreadedMachine m(p.nodes(), wallclock_config());
+  auto ids = sor::register_sor(m.registry(), p);
+  m.registry().finalize();
+  auto world = sor::build(m, ids, p);
+  auto body = [&] {
+    CONCERT_CHECK(sor::run(m, ids, world), "SOR driver failed");
+  };
+  return measure("sor", m, /*warmup=*/1, reps, body);
+}
+
+WorkloadResult run_em3d(bool smoke, int reps) {
+  em3d::Params p;
+  p.graph_nodes = smoke ? 128 : 384;
+  p.degree = 8;
+  p.iters = smoke ? 2 : 4;
+  p.local_fraction = 0.5;
+  const std::size_t nodes = 4;
+  ThreadedMachine m(nodes, wallclock_config());
+  auto ids = em3d::register_em3d(m.registry(), p, nodes);
+  m.registry().finalize();
+  auto world = em3d::build(m, ids, p);
+  auto body = [&] {
+    CONCERT_CHECK(em3d::run(m, ids, world, em3d::Version::Push), "EM3D driver failed");
+  };
+  return measure("em3d", m, /*warmup=*/1, reps, body);
+}
+
+WorkloadResult run_md(bool smoke, int reps) {
+  md::Params p;
+  p.atoms = smoke ? 128 : 320;
+  p.spatial = true;
+  const std::size_t nodes = 4;
+  ThreadedMachine m(nodes, wallclock_config());
+  auto ids = md::register_md(m.registry(), p, nodes);
+  m.registry().finalize();
+  auto world = md::build(m, ids, p);
+  auto body = [&] {
+    CONCERT_CHECK(md::run(m, ids, world), "MD-Force driver failed");
+  };
+  return measure("mdforce", m, /*warmup=*/1, reps, body);
+}
+
+void write_json(const std::string& path, const std::vector<WorkloadResult>& results, bool smoke,
+                int reps) {
+  std::ofstream os(path);
+  CONCERT_CHECK(os.good(), "cannot write " << path);
+  os << "{\n"
+     << "  \"bench\": \"wallclock_suite\",\n"
+     << "  \"engine\": \"threaded\",\n"
+     << "  \"mode\": \"Hybrid3\",\n"
+     << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+     << "  \"repetitions\": " << reps << ",\n"
+     << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const WorkloadResult& r = results[i];
+    os << "    {\"name\": \"" << r.name << "\""
+       << ", \"best_wall_s\": " << r.best_wall_s << ", \"mean_wall_s\": " << r.mean_wall_s
+       << ", \"invocations\": " << r.invocations << ", \"msgs\": " << r.msgs
+       << ", \"invocations_per_sec\": " << static_cast<std::uint64_t>(r.inv_per_s)
+       << ", \"msgs_per_sec\": " << static_cast<std::uint64_t>(r.msgs_per_s)
+       << ", \"mean_inbox_batch\": " << r.mean_inbox_batch
+       << ", \"loc_cache_hits\": " << r.loc_cache_hits
+       << ", \"loc_cache_misses\": " << r.loc_cache_misses << "}"
+       << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace
+}  // namespace concert
+
+int main(int argc, char** argv) {
+  using namespace concert;
+  bool smoke = false;
+  int reps = 3;
+  std::string json_path = "BENCH_wallclock.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: wallclock_suite [--smoke] [--reps N] [--json PATH]\n";
+      return 2;
+    }
+  }
+  if (smoke) reps = std::min(reps, 2);
+
+  bench::print_caption(std::string("Wall-clock suite — threaded engine") +
+                       (smoke ? " (smoke)" : ""));
+  std::vector<WorkloadResult> results;
+  results.push_back(run_ping(smoke, reps));
+  results.push_back(run_sor(smoke, reps));
+  results.push_back(run_em3d(smoke, reps));
+  results.push_back(run_md(smoke, reps));
+
+  TablePrinter t({"workload", "best (s)", "mean (s)", "invocations", "msgs", "inv/s", "msg/s",
+                  "avg inbox batch"});
+  for (const WorkloadResult& r : results) {
+    t.add_row({r.name, fmt_double(r.best_wall_s, 4), fmt_double(r.mean_wall_s, 4),
+               std::to_string(r.invocations), std::to_string(r.msgs),
+               fmt_count(static_cast<std::uint64_t>(r.inv_per_s)),
+               fmt_count(static_cast<std::uint64_t>(r.msgs_per_s)),
+               fmt_double(r.mean_inbox_batch, 2)});
+  }
+  t.print(std::cout);
+
+  write_json(json_path, results, smoke, reps);
+  std::cout << "\nwrote " << json_path << "\n";
+  return 0;
+}

@@ -23,6 +23,13 @@ bool acquire_implicit_lock(Node& nd, const MethodInfo& mi, GlobalRef target) {
   return true;
 }
 
+bool acquire_implicit_lock(Node& nd, const DispatchEntry& de, GlobalRef target) {
+  if (!de.locks_self || !target.valid()) return false;
+  nd.objects().lock(target);
+  nd.charge(nd.costs().lock_check);
+  return true;
+}
+
 void release_implicit_lock(Node& nd, GlobalRef target) {
   nd.objects().unlock(target);
   nd.charge(nd.costs().lock_check);
@@ -124,9 +131,9 @@ void Frame::go_parallel(MethodId callee, GlobalRef target, const Value* args,
 
 bool Frame::call(MethodId callee, GlobalRef target, const Value* args, std::size_t nargs,
                  SlotId slot, Value* out) {
-  MethodRegistry& reg = nd_.registry();
   nd_.verifier.record_call(method_, callee);
-  const Schema schema = reg.effective_schema(callee, nd_.mode());
+  const DispatchEntry& de = nd_.dispatch(callee);
+  const Schema schema = de.schema;
   charge_seq_call(nd_, schema);
 
   const bool is_remote = target.valid() && target.node != nd_.id();
@@ -139,17 +146,17 @@ bool Frame::call(MethodId callee, GlobalRef target, const Value* args, std::size
   const bool runnable_here = nd_.local_and_unlocked(target);
   const bool injected =
       runnable_here && nd_.injector().enabled() && nd_.injector().should_block(callee);
-  const MethodInfo& mi = reg.info(callee);
 
   if (!runnable_here || injected) {
-    go_parallel(callee, target, args, nargs, slot, mi.multi_return, is_remote);
+    go_parallel(callee, target, args, nargs, slot, de.multi_return, is_remote);
     return false;
   }
 
   // Speculative stack execution.
   ++nd_.stats.stack_calls;
-  CONCERT_CHECK(mi.variadic ? nargs >= mi.arg_count : nargs == mi.arg_count,
-                "call of " << mi.name << " with " << nargs << " args, wants " << mi.arg_count);
+  CONCERT_CHECK(de.variadic ? nargs >= de.arg_count : nargs == de.arg_count,
+                "call of " << nd_.registry().info(callee).name << " with " << nargs
+                           << " args, wants " << de.arg_count);
   CallerInfo ci;
   if (schema == Schema::ContinuationPassing) {
     ci.context_exists = ctx_ != nullptr;
@@ -158,8 +165,8 @@ bool Frame::call(MethodId callee, GlobalRef target, const Value* args, std::size
     ci.return_slot = slot;
     if (ctx_ != nullptr) ci.context = ctx_->ref();
   }
-  const bool locked_here = acquire_implicit_lock(nd_, mi, target);
-  Context* fbk = mi.seq(nd_, out, ci, target, args, nargs);
+  const bool locked_here = acquire_implicit_lock(nd_, de, target);
+  Context* fbk = de.seq(nd_, out, ci, target, args, nargs);
   if (fbk == nullptr) {
     if (locked_here) release_implicit_lock(nd_, target);
     ++nd_.stats.stack_completions;
@@ -172,12 +179,13 @@ bool Frame::call(MethodId callee, GlobalRef target, const Value* args, std::size
   // Establish the linkage per the callee's schema.
   switch (schema) {
     case Schema::NonBlocking:
-      CONCERT_UNREACHABLE("non-blocking callee " + mi.name + " returned a fallback context");
+      CONCERT_UNREACHABLE("non-blocking callee " + nd_.registry().info(callee).name +
+                          " returned a fallback context");
     case Schema::MayBlock: {
       // Fig. 6: fbk is the callee's freshly created context; insert the
       // continuation for its return value(s).
       Context& me = materialize();
-      for (std::size_t i = 0; i < mi.multi_return; ++i) {
+      for (std::size_t i = 0; i < de.multi_return; ++i) {
         me.expect(static_cast<SlotId>(slot + i));
       }
       nd_.charge(nd_.costs().future_expect + nd_.costs().linkage_install);
@@ -211,13 +219,13 @@ bool Frame::call(MethodId callee, GlobalRef target, const Value* args, std::size
 
 Context* Frame::forward(MethodId callee, GlobalRef target, const Value* args,
                         std::size_t nargs, Value* ret) {
-  MethodRegistry& reg = nd_.registry();
   nd_.verifier.record_call(method_, callee);
   nd_.verifier.record_forward(method_, callee);
   nd_.verifier.record_cont_use(method_);
-  const Schema schema = reg.effective_schema(callee, nd_.mode());
+  const DispatchEntry& de = nd_.dispatch(callee);
+  const Schema schema = de.schema;
   CONCERT_CHECK(schema == Schema::ContinuationPassing,
-                "forwarding into " << reg.info(callee).name << " which is not CP");
+                "forwarding into " << nd_.registry().info(callee).name << " which is not CP");
   charge_seq_call(nd_, schema);
 
   const bool is_remote = target.valid() && target.node != nd_.id();
@@ -230,8 +238,7 @@ Context* Frame::forward(MethodId callee, GlobalRef target, const Value* args,
     ++nd_.stats.stack_calls;
     // Local forwarding stays on the stack: pass (ret, ci) through unchanged;
     // whatever the callee returns is exactly what we must return.
-    const MethodInfo& mi = reg.info(callee);
-    Context* fbk = mi.seq(nd_, ret, ci_, target, args, nargs);
+    Context* fbk = de.seq(nd_, ret, ci_, target, args, nargs);
     if (fbk == nullptr) ++nd_.stats.stack_completions;
     return fbk;
   }
@@ -263,9 +270,8 @@ Context* Frame::fallback(std::uint32_t resume_pc,
   }
   nd_.suspend(me);
 
-  const Schema my_schema = nd_.registry().effective_schema(method_, nd_.mode());
   Context* up = nullptr;
-  switch (my_schema) {
+  switch (my_schema()) {
     case Schema::NonBlocking:
       CONCERT_UNREACHABLE("non-blocking method attempted fallback");
     case Schema::MayBlock:
@@ -303,8 +309,7 @@ Context* Frame::yield_to_parallel(std::uint32_t resume_pc,
   }
   nd_.enqueue(me);  // runnable immediately — nothing to wait for
 
-  const Schema my_schema = nd_.registry().effective_schema(method_, nd_.mode());
-  switch (my_schema) {
+  switch (my_schema()) {
     case Schema::NonBlocking:
       CONCERT_UNREACHABLE("non-blocking method attempted yield_to_parallel");
     case Schema::MayBlock:
@@ -330,8 +335,8 @@ Context* Frame::yield_to_parallel(std::uint32_t resume_pc,
 
 void ParFrame::spawn(MethodId callee, GlobalRef target, const Value* args, std::size_t nargs,
                      SlotId slot) {
-  MethodRegistry& reg = nd_.registry();
   nd_.verifier.record_call(ctx_.method, callee);
+  const DispatchEntry& de = nd_.dispatch(callee);
   const bool is_remote = target.valid() && target.node != nd_.id();
   if (is_remote) {
     ++nd_.stats.remote_invokes;
@@ -343,7 +348,7 @@ void ParFrame::spawn(MethodId callee, GlobalRef target, const Value* args, std::
     // The parallel-only runtime still performs name translation + locality
     // checks to route the invocation.
     nd_.charge(nd_.costs().name_translation + nd_.costs().locality_check);
-    const std::size_t nret_par = reg.info(callee).multi_return;
+    const std::size_t nret_par = de.multi_return;
     for (std::size_t i = 0; i < nret_par; ++i) ctx_.expect(static_cast<SlotId>(slot + i));
     nd_.charge(nd_.costs().future_expect);
     const Continuation k{ctx_.ref(), slot, false};
@@ -356,12 +361,12 @@ void ParFrame::spawn(MethodId callee, GlobalRef target, const Value* args, std::
     return;
   }
 
-  const Schema schema = reg.effective_schema(callee, nd_.mode());
+  const Schema schema = de.schema;
   charge_seq_call(nd_, schema);
   const bool runnable_here = nd_.local_and_unlocked(target);
   const bool injected =
       runnable_here && nd_.injector().enabled() && nd_.injector().should_block(callee);
-  const std::size_t nret = reg.info(callee).multi_return;
+  const std::size_t nret = de.multi_return;
 
   if (!runnable_here || injected) {
     for (std::size_t i = 0; i < nret; ++i) ctx_.expect(static_cast<SlotId>(slot + i));
@@ -378,7 +383,6 @@ void ParFrame::spawn(MethodId callee, GlobalRef target, const Value* args, std::
 
   // Hybrid fast path from a parallel caller: children still try the stack.
   ++nd_.stats.stack_calls;
-  const MethodInfo& mi = reg.info(callee);
   CONCERT_CHECK(nret <= 8, "multi_return too wide");
   CallerInfo ci;
   if (schema == Schema::ContinuationPassing) {
@@ -388,9 +392,9 @@ void ParFrame::spawn(MethodId callee, GlobalRef target, const Value* args, std::
     ci.return_slot = slot;
     ci.context = ctx_.ref();
   }
-  const bool locked_here = acquire_implicit_lock(nd_, mi, target);
+  const bool locked_here = acquire_implicit_lock(nd_, de, target);
   Value out[8];
-  Context* fbk = mi.seq(nd_, out, ci, target, args, nargs);
+  Context* fbk = de.seq(nd_, out, ci, target, args, nargs);
   if (fbk == nullptr) {
     if (locked_here) release_implicit_lock(nd_, target);
     ++nd_.stats.stack_completions;

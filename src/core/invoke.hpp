@@ -104,6 +104,15 @@ class Frame {
   /// then send a message (remote) or enqueue a local heap context.
   void go_parallel(MethodId callee, GlobalRef target, const Value* args, std::size_t nargs,
                    SlotId slot, std::size_t nret, bool remote);
+  /// This activation's own effective schema, looked up once per frame and
+  /// cached (fallback() and yield_to_parallel() both consult it).
+  Schema my_schema() {
+    if (!schema_cached_) {
+      my_schema_ = nd_.dispatch(method_).schema;
+      schema_cached_ = true;
+    }
+    return my_schema_;
+  }
 
   Node& nd_;
   MethodId method_;
@@ -113,6 +122,8 @@ class Frame {
   std::size_t nargs_;
   Context* ctx_ = nullptr;
   bool have_guard_ = false;  ///< A CP callee guarded our context; fallback() releases it.
+  Schema my_schema_ = Schema::NonBlocking;  ///< Valid when schema_cached_.
+  bool schema_cached_ = false;
 };
 
 class ParFrame {
@@ -171,6 +182,7 @@ void charge_seq_call(Node& nd, Schema callee_schema);
 /// Implicit locking (MethodDecl::locks_self): acquire the target object's
 /// lock before running the method. Returns whether a lock was taken.
 bool acquire_implicit_lock(Node& nd, const MethodInfo& mi, GlobalRef target);
+bool acquire_implicit_lock(Node& nd, const DispatchEntry& de, GlobalRef target);
 void release_implicit_lock(Node& nd, GlobalRef target);
 
 }  // namespace concert

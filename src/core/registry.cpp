@@ -32,10 +32,38 @@ void MethodRegistry::add_callee(MethodId m, MethodId callee, bool forwards) {
   if (forwards) methods_[m].forwards_to.push_back(callee);
 }
 
-void MethodRegistry::finalize() {
+void MethodRegistry::seal() {
   CONCERT_CHECK(!finalized_, "registry finalized twice");
   analyze_schemas(methods_);
   finalized_ = true;
+  // Flatten the analyzed registry into per-mode dispatch tables so the
+  // invoke fast path never walks MethodInfo (or re-derives the effective
+  // schema) at run time. The arrays are immutable hereafter, so nodes cache
+  // raw pointers into them.
+  for (std::size_t m = 0; m < kExecModeCount; ++m) {
+    const ExecMode mode = static_cast<ExecMode>(m);
+    std::vector<DispatchEntry>& tab = dispatch_[m];
+    tab.resize(methods_.size());
+    for (std::size_t i = 0; i < methods_.size(); ++i) {
+      const MethodInfo& mi = methods_[i];
+      DispatchEntry& e = tab[i];
+      e.seq = mi.seq;
+      e.par = mi.par;
+      e.schema = effective_schema(static_cast<MethodId>(i), mode);
+      e.locks_self = mi.locks_self;
+      e.variadic = mi.variadic;
+      e.multi_return = mi.multi_return;
+      e.arg_count = mi.arg_count;
+      e.frame_slots = mi.frame_slots;
+    }
+  }
+}
+
+const DispatchEntry* MethodRegistry::dispatch_table(ExecMode mode) const {
+  CONCERT_CHECK(finalized_, "dispatch_table before seal()");
+  const std::size_t m = static_cast<std::size_t>(mode);
+  CONCERT_CHECK(m < kExecModeCount, "bad exec mode " << m);
+  return dispatch_[m].data();
 }
 
 const MethodInfo& MethodRegistry::info(MethodId m) const {

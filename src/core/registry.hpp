@@ -84,6 +84,26 @@ struct MethodInfo : MethodDecl {
   bool needs_continuation = false;
 };
 
+/// Number of ExecMode values (dispatch tables are built per mode).
+inline constexpr std::size_t kExecModeCount = 4;
+
+/// One row of a mode's flat dispatch table: every registry fact the invoke
+/// fast path asks per invocation — effective schema, code pointers, frame
+/// size, arity, locking — resolved once at seal() time into a MethodId-
+/// indexed array. An invoke then answers all of them with a single indexed
+/// load, the software analogue of the paper's compiled-in schema selection
+/// (the compiler emits the call-site convention; we look it up in O(1)).
+struct DispatchEntry {
+  SeqFn seq = nullptr;
+  ParStep par = nullptr;
+  Schema schema = Schema::NonBlocking;  ///< Effective schema under the table's mode.
+  bool locks_self = false;
+  bool variadic = false;
+  std::uint8_t multi_return = 1;
+  std::uint16_t arg_count = 0;
+  std::uint16_t frame_slots = 0;
+};
+
 class MethodRegistry {
  public:
   /// Declares a method; callees may be wired afterwards (for recursion).
@@ -92,10 +112,17 @@ class MethodRegistry {
   /// Adds a call edge m -> callee; `forwards` marks continuation forwarding.
   void add_callee(MethodId m, MethodId callee, bool forwards = false);
 
-  /// Runs the schema-selection analysis. Must be called exactly once, after
-  /// which the registry is immutable.
-  void finalize();
+  /// Runs the schema-selection analysis and builds the per-mode flat dispatch
+  /// tables. Must be called exactly once, after which the registry is
+  /// immutable.
+  void seal();
+  /// Historical name for seal(); every app calls this after registration.
+  void finalize() { seal(); }
   bool finalized() const { return finalized_; }
+
+  /// The flat dispatch table for `mode` (MethodId-indexed, size() entries).
+  /// Stable for the registry's lifetime once sealed.
+  const DispatchEntry* dispatch_table(ExecMode mode) const;
 
   const MethodInfo& info(MethodId m) const;
   std::size_t size() const { return methods_.size(); }
@@ -123,6 +150,7 @@ class MethodRegistry {
 
  private:
   std::vector<MethodInfo> methods_;
+  std::vector<DispatchEntry> dispatch_[kExecModeCount];  ///< Built by seal().
   bool finalized_ = false;
 };
 

@@ -43,11 +43,38 @@ void invoke_via_heap(Node& nd, MethodId method, GlobalRef target, const Value* a
 
 }  // namespace
 
+namespace {
+
+/// True when `r` names a local object that has migrated away — the only case
+/// where a forwarding chase (and hence the location cache) applies.
+bool locally_forwarded(Node& nd, const GlobalRef& r) {
+  return r.valid() && r.node == nd.id() && nd.objects().is_forwarded(r);
+}
+
+}  // namespace
+
 GlobalRef resolve_forwarding(Node& nd, GlobalRef target) {
-  while (target.valid() && target.node == nd.id() && nd.objects().is_forwarded(target)) {
+  if (!locally_forwarded(nd, target)) return target;  // the overwhelming common case
+  // Stale name: consult the location cache before walking the forwarding
+  // chain. A hit resolves in one probe (charged as a single name translation
+  // instead of one per hop); the cached answer is only a hint, so a hit that
+  // is itself a stale local name falls through to the chase below and the
+  // entry is refreshed with the true current home (chase-then-update).
+  LocationCache& cache = nd.location_cache();
+  const GlobalRef original = target;
+  if (const GlobalRef* cached = cache.lookup(target)) {
+    ++nd.stats.loc_cache_hits;
+    nd.charge(nd.costs().name_translation);
+    target = *cached;
+    if (!locally_forwarded(nd, target)) return target;
+  } else {
+    ++nd.stats.loc_cache_misses;
+  }
+  while (locally_forwarded(nd, target)) {
     nd.charge(nd.costs().name_translation);
     target = nd.objects().forward_of(target);
   }
+  cache.insert(original, target);
   return target;
 }
 
@@ -55,11 +82,10 @@ void invoke_with_continuation(Node& nd, MethodId method, GlobalRef target, const
                               std::size_t nargs, const Continuation& k, bool count_invocation) {
   CONCERT_CHECK(method != kInvalidMethod, "invoke of invalid method");
   target = resolve_forwarding(nd, target);
-  MethodRegistry& reg = nd.registry();
-  const MethodInfo& mi = reg.info(method);
-  CONCERT_CHECK(mi.variadic ? nargs >= mi.arg_count : nargs == mi.arg_count,
-                "invoke of " << mi.name << " with " << nargs << " args, wants "
-                             << mi.arg_count);
+  const DispatchEntry& de = nd.dispatch(method);
+  CONCERT_CHECK(de.variadic ? nargs >= de.arg_count : nargs == de.arg_count,
+                "invoke of " << nd.registry().info(method).name << " with " << nargs
+                             << " args, wants " << de.arg_count);
 
   if (target.valid() && target.node != nd.id()) {
     if (count_invocation) ++nd.stats.remote_invokes;
@@ -84,30 +110,31 @@ void invoke_with_continuation(Node& nd, MethodId method, GlobalRef target, const
     }
   }
 
-  const Schema schema = reg.effective_schema(method, nd.mode());
+  const Schema schema = de.schema;
   charge_seq_call(nd, schema);
   ++nd.stats.stack_calls;
 
   Value rv[8];
   switch (schema) {
     case Schema::NonBlocking: {
-      const bool locked_here = acquire_implicit_lock(nd, mi, target);
-      Context* fbk = mi.seq(nd, rv, CallerInfo::none(), target, args, nargs);
-      CONCERT_CHECK(fbk == nullptr, "non-blocking method " << mi.name << " fell back");
+      const bool locked_here = acquire_implicit_lock(nd, de, target);
+      Context* fbk = de.seq(nd, rv, CallerInfo::none(), target, args, nargs);
+      CONCERT_CHECK(fbk == nullptr, "non-blocking method " << nd.registry().info(method).name
+                                                           << " fell back");
       if (locked_here) release_implicit_lock(nd, target);
       ++nd.stats.stack_completions;
       // A purely reactive invocation carries no continuation; otherwise pass
       // the return value(s) to the waiting future(s).
-      nd.reply_to_multi(k, rv, mi.multi_return);
+      nd.reply_to_multi(k, rv, de.multi_return);
       return;
     }
     case Schema::MayBlock: {
-      const bool locked_here = acquire_implicit_lock(nd, mi, target);
-      Context* fbk = mi.seq(nd, rv, CallerInfo::none(), target, args, nargs);
+      const bool locked_here = acquire_implicit_lock(nd, de, target);
+      Context* fbk = de.seq(nd, rv, CallerInfo::none(), target, args, nargs);
       if (fbk == nullptr) {
         if (locked_here) release_implicit_lock(nd, target);
         ++nd.stats.stack_completions;
-        nd.reply_to_multi(k, rv, mi.multi_return);
+        nd.reply_to_multi(k, rv, de.multi_return);
       } else {
         if (locked_here) fbk->holds_lock = true;
         // Place the continuation in the callee's context in case the method
@@ -120,7 +147,7 @@ void invoke_with_continuation(Node& nd, MethodId method, GlobalRef target, const
     case Schema::ContinuationPassing: {
       Context& proxy = make_proxy_context(nd, k);
       const CallerInfo ci = proxy_caller_info(proxy);
-      Context* fbk = mi.seq(nd, rv, ci, target, args, nargs);
+      Context* fbk = de.seq(nd, rv, ci, target, args, nargs);
       if (fbk == nullptr) {
         // The method replied by storing through return_val: forward the value
         // to the original caller; the continuation was never materialized.

@@ -1,0 +1,160 @@
+// Lock-free multi-producer / single-consumer queue (Vyukov's node-based
+// MPSC), used as the threaded engine's per-node message inbox.
+//
+// Producers (any node thread routing a message here) push with one atomic
+// exchange and one release store — no lock, no CAS loop, no waiting on other
+// producers. The single consumer (the owning node's thread) pops from the
+// other end without any atomic RMW at all. The queue is unbounded; each
+// element lives in its own heap node, which matches the previous
+// deque-under-mutex cost while removing the lock round trip per message.
+//
+// Progress fine print: between a producer's exchange on `head_` and its
+// release store to `prev->next`, the pushed element (and any elements pushed
+// after it) is momentarily invisible to the consumer — pop() reports empty.
+// This is harmless here: every in-flight message holds a +1 on the engine's
+// outstanding-work counter, so quiescence cannot be declared around the
+// blink, and the consumer simply re-polls (or parks with a timeout) until the
+// store lands.
+//
+// Node storage is recycled through a per-thread block cache rather than
+// malloc/free per element: a node is allocated on the producer's thread but
+// freed on the consumer's, exactly the cross-thread pattern that defeats the
+// allocator's thread caches. Each thread instead keeps a small LIFO of raw
+// node-sized blocks (shared across all queues with the same element type);
+// in message-passing workloads every node thread both produces and consumes,
+// so the caches self-balance, and a hard cap bounds them when traffic is
+// one-sided.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace concert {
+
+template <typename T>
+class MpscQueue {
+ public:
+  MpscQueue() {
+    QNode* stub = new (alloc_block()) QNode();
+    head_.store(stub, std::memory_order_relaxed);
+    tail_ = stub;
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  ~MpscQueue() {
+    // Single-threaded by the time we destruct: free consumed dummy + leftovers.
+    QNode* n = tail_;
+    while (n != nullptr) {
+      QNode* next = n->next.load(std::memory_order_relaxed);
+      n->~QNode();
+      ::operator delete(n);
+      n = next;
+    }
+  }
+
+  /// Multi-producer push: wait-free except for the (cached) allocator. The
+  /// only producer-side atomic RMW is the exchange on `head_` — there is no
+  /// shared size counter to bounce a second cache line between threads.
+  void push(T v) {
+    QNode* n = new (alloc_block()) QNode(std::move(v));
+    QNode* prev = head_.exchange(n, std::memory_order_acq_rel);
+    prev->next.store(n, std::memory_order_release);
+  }
+
+  /// Single-consumer pop. Returns false when empty (or when the head element
+  /// is mid-push and not yet linked — see header comment).
+  bool pop(T& out) {
+    QNode* tail = tail_;
+    QNode* next = tail->next.load(std::memory_order_acquire);
+    if (next == nullptr) return false;
+    out = std::move(next->value);
+    tail_ = next;
+    tail->~QNode();
+    release_block(tail);
+    return true;
+  }
+
+  /// Single-consumer batched drain: pops up to `max` elements into `out`
+  /// (appended), moving each element exactly once (node -> *out). Returns
+  /// the number popped.
+  template <typename OutIt>
+  std::size_t drain(OutIt out, std::size_t max) {
+    std::size_t n = 0;
+    while (n < max) {
+      QNode* tail = tail_;
+      QNode* next = tail->next.load(std::memory_order_acquire);
+      if (next == nullptr) break;
+      *out++ = std::move(next->value);
+      tail_ = next;
+      tail->~QNode();
+      release_block(tail);
+      ++n;
+    }
+    return n;
+  }
+
+  /// Consumer-side emptiness probe: true when nothing is linked for popping.
+  bool consumer_empty() const {
+    return tail_->next.load(std::memory_order_acquire) == nullptr;
+  }
+
+ private:
+  struct QNode {
+    QNode() = default;
+    explicit QNode(T&& v) : value(std::move(v)) {}
+    std::atomic<QNode*> next{nullptr};
+    T value{};
+  };
+
+  /// Per-thread LIFO of raw node-sized blocks (freed blocks link through
+  /// their first word). Capped so one-sided flows cannot hoard memory.
+  struct BlockCache {
+    static constexpr std::size_t kMax = 1024;
+    void* head = nullptr;
+    std::size_t count = 0;
+
+    ~BlockCache() {
+      while (head != nullptr) {
+        void* next = *static_cast<void**>(head);
+        ::operator delete(head);
+        head = next;
+      }
+    }
+  };
+
+  static BlockCache& block_cache() {
+    thread_local BlockCache cache;
+    return cache;
+  }
+
+  static void* alloc_block() {
+    BlockCache& c = block_cache();
+    if (c.head != nullptr) {
+      void* b = c.head;
+      c.head = *static_cast<void**>(b);
+      --c.count;
+      return b;
+    }
+    return ::operator new(sizeof(QNode));
+  }
+
+  static void release_block(void* b) {
+    BlockCache& c = block_cache();
+    if (c.count >= BlockCache::kMax) {
+      ::operator delete(b);
+      return;
+    }
+    *static_cast<void**>(b) = c.head;
+    c.head = b;
+    ++c.count;
+  }
+
+  std::atomic<QNode*> head_;  ///< Push end (producers exchange onto it).
+  QNode* tail_;               ///< Pop end: a consumed dummy node (consumer only).
+};
+
+}  // namespace concert

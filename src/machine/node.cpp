@@ -1,5 +1,7 @@
 #include "machine/node.hpp"
 
+#include <iterator>
+
 #include "core/registry.hpp"
 #include "core/wrapper.hpp"
 #include "machine/machine.hpp"
@@ -24,8 +26,15 @@ bool Node::futures_in_context() const { return machine_.config().futures_in_cont
 
 void Node::init_comms(std::size_t nodes) { outbox_.reset(nodes); }
 
+void Node::bind_dispatch() {
+  MethodRegistry& reg = registry();
+  CONCERT_CHECK(reg.finalized(), "dispatch before registry seal()");
+  dispatch_ = reg.dispatch_table(mode());
+  dispatch_size_ = reg.size();
+}
+
 Context& Node::alloc_context(MethodId m) {
-  return alloc_context_raw(m, registry().info(m).frame_slots);
+  return alloc_context_raw(m, dispatch(m).frame_slots);
 }
 
 Context& Node::alloc_context_raw(MethodId m, std::size_t slots) {
@@ -99,8 +108,8 @@ bool Node::run_one() {
   // Implicit locking: an invocation on a held object is deferred (the
   // holder is either in this queue or waiting on futures; it will finish).
   if (ctx.method != kInvalidMethod) {
-    const MethodInfo& mi = registry().info(ctx.method);
-    if (mi.locks_self && ctx.self.valid() && !ctx.holds_lock) {
+    const DispatchEntry& de = dispatch(ctx.method);
+    if (de.locks_self && ctx.self.valid() && !ctx.holds_lock) {
       if (objects_.locked(ctx.self)) {
         charge(costs().lock_check);
         ready_.push_back(cid);  // defer to the back of the queue
@@ -116,7 +125,7 @@ bool Node::run_one() {
   charge(costs().dispatch);
   const MethodId method = ctx.method;
   tracer.record(clock_, TraceKind::DispatchBegin, method);
-  const ParStep par = registry().info(method).par;
+  const ParStep par = dispatch(method).par;
   CONCERT_CHECK(par != nullptr, "context " << ctx.ref() << " has no parallel version");
   par(*this, ctx);
   tracer.record(clock_, TraceKind::DispatchEnd, method);
@@ -166,11 +175,11 @@ void Node::send(Message msg) {
 }
 
 void Node::flush_outbox(NodeId dst) {
-  std::vector<Message> staged = outbox_.drain(dst);
-  if (staged.empty()) return;
-  const std::size_t n = staged.size();
-  Message out = n == 1 ? std::move(staged.front())
-                       : Message::bundle_of(id_, dst, std::move(staged));
+  const std::size_t n = outbox_.drain_into(dst, flush_scratch_);
+  if (n == 0) return;
+  Message out = n == 1 ? std::move(flush_scratch_.front())
+                       : Message::bundle_of(id_, dst, std::move(flush_scratch_));
+  flush_scratch_.clear();  // bundle_of move leaves it unspecified; re-arm
   // Amortized accounting: one per-message overhead for the whole bundle plus
   // per-packet costs for the combined payload (a bundle of one is charged
   // exactly like a plain send).
@@ -241,21 +250,52 @@ void Node::deliver_element(Message& msg) {
 }
 
 void Node::push_inbox(Message msg) {
-  std::scoped_lock lk(inbox_mu_);
-  inbox_.push_back(std::move(msg));
+  inbox_.push(std::move(msg));
+  // Wake a parked consumer. The load is deliberately relaxed — no fence on
+  // the push fast path — so a push that races the consumer's park decision
+  // can miss the flag; the consumer's park timeout (a few hundred µs) is the
+  // backstop for that window, and quiescence is unaffected because the
+  // message already holds its outstanding-work credit. The mutex is only
+  // touched when a parked consumer is actually observed.
+  if (parked_.load(std::memory_order_relaxed)) {
+    std::scoped_lock lk(park_mu_);
+    park_cv_.notify_one();
+  }
 }
 
-bool Node::pop_inbox(Message& out) {
-  std::scoped_lock lk(inbox_mu_);
-  if (inbox_.empty()) return false;
-  out = std::move(inbox_.front());
-  inbox_.pop_front();
-  return true;
+bool Node::pop_inbox(Message& out) { return inbox_.pop(out); }
+
+bool Node::inbox_empty() const { return inbox_.consumer_empty(); }
+
+std::size_t Node::drain_inbox(std::vector<Message>& out, std::size_t max) {
+  const std::size_t n = inbox_.drain(std::back_inserter(out), max);
+  if (n > 0) stats.record_inbox_batch(n);
+  return n;
 }
 
-std::size_t Node::inbox_size() {
-  std::scoped_lock lk(inbox_mu_);
-  return inbox_.size();
+void Node::park_inbox(std::chrono::microseconds timeout) {
+  parked_.store(true, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+  {
+    std::unique_lock lk(park_mu_);
+    // Re-check under the lock: most pushes that raced our park decision are
+    // seen here and skip the wait entirely, and a producer that loads
+    // parked_ == true notifies under this mutex. push_inbox keeps its
+    // parked_ load unfenced, so a narrow window remains where both sides
+    // miss; the timeout bounds that window (and covers mid-push
+    // invisibility and shutdown races). Liveness, not correctness, is all
+    // that rides on the wake — every queued message holds its work credit.
+    if (inbox_.consumer_empty()) {
+      ++stats.inbox_parks;
+      park_cv_.wait_for(lk, timeout);
+    }
+  }
+  parked_.store(false, std::memory_order_relaxed);
+}
+
+void Node::wake_inbox() {
+  std::scoped_lock lk(park_mu_);
+  park_cv_.notify_one();
 }
 
 void Node::reply_to(const Continuation& k, const Value& v) {

@@ -9,18 +9,25 @@
 // can be processed on the same node.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <mutex>
+#include <vector>
 
 #include "core/context.hpp"
 #include "core/inject.hpp"
+#include "core/registry.hpp"
 #include "core/schema.hpp"
 #include "machine/cost_model.hpp"
 #include "machine/flush_policy.hpp"
 #include "machine/message.hpp"
+#include "machine/mpsc_queue.hpp"
 #include "machine/outbox.hpp"
 #include "machine/trace.hpp"
+#include "objects/location_cache.hpp"
 #include "objects/object_space.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
@@ -29,7 +36,6 @@
 namespace concert {
 
 class Machine;
-class MethodRegistry;
 
 class Node {
  public:
@@ -41,6 +47,17 @@ class Node {
   NodeId id() const { return id_; }
   Machine& machine() { return machine_; }
   MethodRegistry& registry();
+
+  /// Flat dispatch-table row for `m` under this machine's execution mode:
+  /// the invoke fast path's registry questions (effective schema, code
+  /// pointers, frame size, arity) answered with a single indexed load. The
+  /// table is built once in MethodRegistry::seal(); the pointer is bound
+  /// lazily on first use (sealing happens after node construction).
+  const DispatchEntry& dispatch(MethodId m) {
+    if (dispatch_ == nullptr) bind_dispatch();
+    CONCERT_CHECK(m < dispatch_size_, "bad method id " << m);
+    return dispatch_[m];
+  }
   const CostModel& costs() const;
   ExecMode mode() const;
   FallbackPolicy fallback_policy() const;
@@ -104,11 +121,22 @@ class Node {
   /// Returns the number of staged messages that left.
   std::size_t flush_all_outboxes();
 
-  /// Thread-safe inbox used by the threaded engine (the deterministic engine
-  /// keeps undelivered messages in SimNetwork instead).
+  /// Lock-free MPSC inbox used by the threaded engine (the deterministic
+  /// engine keeps undelivered messages in SimNetwork instead). Any thread may
+  /// push; only the owning node's thread pops/drains.
   void push_inbox(Message msg);
   bool pop_inbox(Message& out);
-  std::size_t inbox_size();
+  /// Consumer-side emptiness probe (only the owning node's thread may call).
+  bool inbox_empty() const;
+  /// Batched drain (consumer only): appends up to `max` messages to `out`,
+  /// recording the batch size in `stats`. Returns the number drained.
+  std::size_t drain_inbox(std::vector<Message>& out, std::size_t max);
+  /// Parks the consumer until a producer pushes, `timeout` elapses, or
+  /// wake_inbox() is called — the threaded engine's idle path, so quiescence
+  /// detection does not spin a whole core per idle node.
+  void park_inbox(std::chrono::microseconds timeout);
+  /// Wakes a parked consumer (engine shutdown, external prodding).
+  void wake_inbox();
 
   // ---- reply routing ----
   /// Delivers `v` to the future named by `k`: a local slot fill, or a Reply
@@ -123,6 +151,10 @@ class Node {
 
   // ---- objects ----
   ObjectSpace& objects() { return objects_; }
+  /// Direct-mapped cache of stale GlobalRef -> current location, consulted by
+  /// resolve_forwarding to short-circuit forwarding-record chases after
+  /// migration. Touched only by this node's thread.
+  LocationCache& location_cache() { return loc_cache_; }
   /// Performs the speculative-inlining checks (name translation + locality +
   /// lock), charging them unless running SeqOpt. Pure locality answer.
   bool local_and_unlocked(const GlobalRef& ref);
@@ -143,16 +175,27 @@ class Node {
   /// Reply fill / wrapper execution shared by plain messages and bundle
   /// elements (per-message overhead already charged by deliver()).
   void deliver_element(Message& msg);
+  void bind_dispatch();
 
   NodeId id_;
   Machine& machine_;
   std::uint64_t clock_ = 0;
   ContextArena arena_;
   std::deque<ContextId> ready_;  ///< FIFO of ready contexts (by id; gen checked at pop).
-  std::deque<Message> inbox_;
-  std::mutex inbox_mu_;
+  MpscQueue<Message> inbox_;     ///< Lock-free; producers are other node threads.
+  // Idle parking for the inbox consumer (threaded engine only). The mutex is
+  // touched only when parking / waking a parked node — never on the push fast
+  // path of a running system.
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+  std::atomic<bool> parked_{false};
+  // Flat dispatch table for this machine's mode; bound on first dispatch().
+  const DispatchEntry* dispatch_ = nullptr;
+  std::size_t dispatch_size_ = 0;
   Outbox outbox_;  ///< Staged outgoing messages; touched only by this node's thread.
+  std::vector<Message> flush_scratch_;  ///< Reused drain buffer (capacity cycles).
   ObjectSpace objects_;
+  LocationCache loc_cache_;
   BlockInjector injector_;
 };
 

@@ -25,15 +25,29 @@ void ThreadedMachine::work_retired() {
 
 void ThreadedMachine::node_loop(NodeId id) {
   Node& nd = node(id);
-  Message msg;
+  // One inbox batch per loop turn: a single drain amortizes the queue walk
+  // over up to kInboxBatch deliveries, and each message's credit is retired
+  // individually right after its delivery (the products of delivering message
+  // i are counted before i's own +1 drops, so the Dijkstra invariant holds at
+  // every instant within the batch).
+  constexpr std::size_t kInboxBatch = 128;
+  std::vector<Message> batch;
+  batch.reserve(kInboxBatch);
+  const bool oversubscribed = std::thread::hardware_concurrency() < nodes_.size() + 1;
+  unsigned idle = 0;
   while (true) {
-    if (nd.pop_inbox(msg)) {
-      nd.deliver(msg);
-      work_retired();  // retires the message's own +1
+    batch.clear();
+    if (nd.drain_inbox(batch, kInboxBatch) > 0) {
+      for (Message& msg : batch) {
+        nd.deliver(msg);
+        work_retired();  // retires this message's own +1
+      }
+      idle = 0;
       continue;
     }
     if (nd.run_one()) {
       work_retired();  // retires the dequeued context's enqueue +1
+      idle = 0;
       continue;
     }
     // Idle drain: ready queue and inbox are both empty, so any staged
@@ -41,9 +55,24 @@ void ThreadedMachine::node_loop(NodeId id) {
     // outstanding-work counter (added in Node::send, retired at flush after
     // the bundle's own +1 exists), so quiescence cannot be declared while a
     // message sits in an outbox.
-    if (nd.flush_all_outboxes() > 0) continue;
+    if (nd.flush_all_outboxes() > 0) {
+      idle = 0;
+      continue;
+    }
     if (stop_.load(std::memory_order_acquire)) break;
-    std::this_thread::yield();
+    // Escalating idle backoff: brief spin (a reply is often one push away),
+    // then yield, then park on the inbox so an idle node does not burn a
+    // core. With more node threads than hardware cores the spin phase is
+    // skipped — an idle spinner would be stealing the timeslice of the very
+    // thread it is waiting on. run_until_quiescent wakes every parked node
+    // at shutdown; the park timeout is only a backstop.
+    ++idle;
+    if (!oversubscribed && idle < 16) continue;
+    if (oversubscribed || idle < 64) {
+      std::this_thread::yield();
+      continue;
+    }
+    nd.park_inbox(std::chrono::microseconds(200));
   }
 }
 
@@ -61,6 +90,9 @@ void ThreadedMachine::run_until_quiescent() {
     std::this_thread::sleep_for(std::chrono::microseconds(50));
   }
   stop_.store(true, std::memory_order_release);
+  // Parked nodes poll stop_ only between parks; wake them so shutdown does
+  // not wait out the park timeout per node.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) node(static_cast<NodeId>(i)).wake_inbox();
   for (auto& t : threads) t.join();
   // Node threads are gone; their recorders are safe to read from here.
   verify_at_quiescence();

@@ -1,0 +1,81 @@
+// Per-node location cache: stale global name -> current home (migration
+// fast path).
+//
+// Following a migrated object's forwarding chain costs one ObjectSpace lookup
+// (and one charged name translation) per hop, every time a stale name is
+// used. This small direct-mapped cache remembers the *result* of a chase so
+// the next use of the same stale name resolves in one probe. It is a pure
+// software cache over state the forwarding records already own:
+//
+//   * entries are only ever hints — resolve_forwarding re-validates a hit
+//     whose target is local (chase-then-update), and a hit whose target is
+//     remote is validated by the destination node exactly like any other
+//     possibly-stale remote name;
+//   * migration invalidates the migrating node's own entries (key or value)
+//     so the common "owner re-routes its recent senders" path never serves a
+//     freshly wrong answer; other nodes' stale hits correct themselves on
+//     first use.
+//
+// Owned and touched only by its node's thread — no synchronization.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/global_ref.hpp"
+
+namespace concert {
+
+class LocationCache {
+ public:
+  /// Direct-mapped slot count (power of two; ~8KB per node).
+  static constexpr std::size_t kSlots = 256;
+
+  /// Returns the cached location for `key`, or nullptr on miss.
+  const GlobalRef* lookup(const GlobalRef& key) const {
+    const Entry& e = entries_[slot_of(key)];
+    return (e.valid && e.key == key) ? &e.home : nullptr;
+  }
+
+  /// Installs (or overwrites the colliding slot with) key -> home.
+  void insert(const GlobalRef& key, const GlobalRef& home) {
+    Entry& e = entries_[slot_of(key)];
+    e.key = key;
+    e.home = home;
+    e.valid = true;
+  }
+
+  /// Drops every entry that names `ref` as either key or cached home; called
+  /// when a forwarding record for `ref` is created or updated. Returns the
+  /// number of entries dropped.
+  std::size_t invalidate(const GlobalRef& ref) {
+    std::size_t dropped = 0;
+    for (Entry& e : entries_) {
+      if (e.valid && (e.key == ref || e.home == ref)) {
+        e.valid = false;
+        ++dropped;
+      }
+    }
+    return dropped;
+  }
+
+  void clear() {
+    for (Entry& e : entries_) e.valid = false;
+  }
+
+ private:
+  struct Entry {
+    GlobalRef key;
+    GlobalRef home;
+    bool valid = false;
+  };
+
+  static std::size_t slot_of(const GlobalRef& r) {
+    const std::uint64_t h = r.pack() * 0x9e3779b97f4a7c15ull;
+    return static_cast<std::size_t>(h >> 56) & (kSlots - 1);
+  }
+
+  Entry entries_[kSlots];
+};
+
+}  // namespace concert

@@ -41,6 +41,14 @@ GlobalRef migrate_object(Machine& machine, const GlobalRef& from, NodeId dst) {
   (void)copy;
   src_space.mark_forwarded(from, to);
 
+  // The owner's location cache may hold entries that this migration just made
+  // wrong: chases that *ended* at `from` (cached home == from), or — when a
+  // name is re-migrated along a chain — entries keyed by `from` itself. Drop
+  // them; other nodes' stale entries self-correct on first use
+  // (chase-then-update in resolve_forwarding).
+  machine.node(from.node).stats.loc_cache_invalidations +=
+      machine.node(from.node).location_cache().invalidate(from);
+
   // Model the transfer: the owner marshals the object onto the wire.
   machine.node(from.node).charge(machine.costs().msg_send_overhead +
                                  machine.costs().per_packet *

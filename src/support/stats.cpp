@@ -27,6 +27,13 @@ NodeStats& NodeStats::operator+=(const NodeStats& o) {
   bundles_received += o.bundles_received;
   msgs_coalesced += o.msgs_coalesced;
   comm_instructions += o.comm_instructions;
+  inbox_batches += o.inbox_batches;
+  inbox_batched_msgs += o.inbox_batched_msgs;
+  if (o.inbox_batch_max > inbox_batch_max) inbox_batch_max = o.inbox_batch_max;
+  inbox_parks += o.inbox_parks;
+  loc_cache_hits += o.loc_cache_hits;
+  loc_cache_misses += o.loc_cache_misses;
+  loc_cache_invalidations += o.loc_cache_invalidations;
   for (std::size_t i = 0; i < kBundleBuckets; ++i) bundle_size_hist[i] += o.bundle_size_hist[i];
   return *this;
 }
@@ -64,7 +71,12 @@ std::string NodeStats::summary() const {
      << comm_instructions << "\n"
      << "bundle size hist [1,2,3,4,5-8,9-16,17-32,33+]:";
   for (std::size_t i = 0; i < kBundleBuckets; ++i) os << " " << bundle_size_hist[i];
-  os << "\n";
+  os << "\n"
+     << "inbox: batches=" << inbox_batches << " drained=" << inbox_batched_msgs
+     << " mean_batch=" << mean_inbox_batch() << " max_batch=" << inbox_batch_max
+     << " parks=" << inbox_parks << "\n"
+     << "location cache: hits=" << loc_cache_hits << " misses=" << loc_cache_misses
+     << " invalidations=" << loc_cache_invalidations << "\n";
   return os.str();
 }
 

@@ -49,9 +49,31 @@ struct NodeStats {
   std::uint64_t comm_instructions = 0; ///< Instructions charged to messaging overhead
                                        ///< (send/recv/stage/flush; excludes wire latency).
 
+  // Hot-path machinery (threaded-engine inbox, location cache).
+  std::uint64_t inbox_batches = 0;      ///< Non-empty MPSC inbox drains.
+  std::uint64_t inbox_batched_msgs = 0; ///< Messages popped across those drains.
+  std::uint64_t inbox_batch_max = 0;    ///< Largest single drain.
+  std::uint64_t inbox_parks = 0;        ///< Times the node thread parked idle.
+  std::uint64_t loc_cache_hits = 0;     ///< Location-cache hits in resolve_forwarding.
+  std::uint64_t loc_cache_misses = 0;   ///< ... misses (full forwarding-chain walk).
+  std::uint64_t loc_cache_invalidations = 0;  ///< Entries dropped at migration time.
+
   /// Flush-size histogram buckets: 1, 2, 3, 4, 5-8, 9-16, 17-32, 33+.
   static constexpr std::size_t kBundleBuckets = 8;
   std::uint64_t bundle_size_hist[kBundleBuckets] = {};
+
+  /// Records one inbox drain of `n` messages.
+  void record_inbox_batch(std::size_t n) {
+    ++inbox_batches;
+    inbox_batched_msgs += n;
+    if (n > inbox_batch_max) inbox_batch_max = n;
+  }
+  /// Mean messages per non-empty inbox drain (0 before any drain).
+  double mean_inbox_batch() const {
+    return inbox_batches ? static_cast<double>(inbox_batched_msgs) /
+                               static_cast<double>(inbox_batches)
+                         : 0.0;
+  }
 
   /// Records one flush of `n` staged messages into the histogram.
   void record_bundle(std::size_t n);
