@@ -102,6 +102,7 @@ struct WorkloadResult {
   double mean_inbox_batch = 0.0;
   std::uint64_t loc_cache_hits = 0;
   std::uint64_t loc_cache_misses = 0;
+  std::uint64_t spec_nb_calls = 0;  ///< Call sites bound NB by edge specialization.
 };
 
 MachineConfig wallclock_config() {
@@ -140,6 +141,7 @@ WorkloadResult measure(const std::string& name, Machine& m, int warmup, int reps
       r.msgs = after.msgs_sent - before.msgs_sent;
       r.loc_cache_hits = after.loc_cache_hits - before.loc_cache_hits;
       r.loc_cache_misses = after.loc_cache_misses - before.loc_cache_misses;
+      r.spec_nb_calls = after.spec_stack_calls - before.spec_stack_calls;
       const std::uint64_t batches = after.inbox_batches - before.inbox_batches;
       const std::uint64_t drained = after.inbox_batched_msgs - before.inbox_batched_msgs;
       r.mean_inbox_batch = batches ? static_cast<double>(drained) / static_cast<double>(batches)
@@ -192,13 +194,13 @@ WorkloadResult run_ping(bool smoke, int reps) {
   return measure("ping", m, /*warmup=*/1, reps, body);
 }
 
-WorkloadResult run_sor(bool smoke, int reps) {
+WorkloadResult run_sor(bool smoke, int reps, const MachineConfig& cfg) {
   sor::Params p;
   p.n = smoke ? 32 : 64;
   p.pgrid = 2;
   p.block = 8;
   p.iters = smoke ? 2 : 4;
-  ThreadedMachine m(p.nodes(), wallclock_config());
+  ThreadedMachine m(p.nodes(), cfg);
   auto ids = sor::register_sor(m.registry(), p);
   m.registry().finalize();
   auto world = sor::build(m, ids, p);
@@ -208,14 +210,14 @@ WorkloadResult run_sor(bool smoke, int reps) {
   return measure("sor", m, /*warmup=*/1, reps, body);
 }
 
-WorkloadResult run_em3d(bool smoke, int reps) {
+WorkloadResult run_em3d(bool smoke, int reps, const MachineConfig& cfg) {
   em3d::Params p;
   p.graph_nodes = smoke ? 128 : 384;
   p.degree = 8;
   p.iters = smoke ? 2 : 4;
   p.local_fraction = 0.5;
   const std::size_t nodes = 4;
-  ThreadedMachine m(nodes, wallclock_config());
+  ThreadedMachine m(nodes, cfg);
   auto ids = em3d::register_em3d(m.registry(), p, nodes);
   m.registry().finalize();
   auto world = em3d::build(m, ids, p);
@@ -225,12 +227,12 @@ WorkloadResult run_em3d(bool smoke, int reps) {
   return measure("em3d", m, /*warmup=*/1, reps, body);
 }
 
-WorkloadResult run_md(bool smoke, int reps) {
+WorkloadResult run_md(bool smoke, int reps, const MachineConfig& cfg) {
   md::Params p;
   p.atoms = smoke ? 128 : 320;
   p.spatial = true;
   const std::size_t nodes = 4;
-  ThreadedMachine m(nodes, wallclock_config());
+  ThreadedMachine m(nodes, cfg);
   auto ids = md::register_md(m.registry(), p, nodes);
   m.registry().finalize();
   auto world = md::build(m, ids, p);
@@ -240,8 +242,48 @@ WorkloadResult run_md(bool smoke, int reps) {
   return measure("mdforce", m, /*warmup=*/1, reps, body);
 }
 
-void write_json(const std::string& path, const std::vector<WorkloadResult>& results, bool smoke,
-                int reps) {
+// ---------------------------------------------------------------------------
+// Edge-specialization comparison (concert-analyze): each kernel under Hybrid1
+// with call-site specialization off vs on, same workload and engine. Hybrid1
+// degrades every unlocked method to the CP interface, so this isolates what
+// winning the NB stack convention back on refined edges is worth in real time.
+// ---------------------------------------------------------------------------
+
+struct SpecDelta {
+  std::string name;
+  double off_best_s = 0.0;
+  double on_best_s = 0.0;
+  std::uint64_t spec_nb_calls = 0;  ///< per rep, from the specialized run
+  /// Positive = specialization made the kernel faster by this fraction.
+  double delta() const {
+    return off_best_s > 0 ? (off_best_s - on_best_s) / off_best_s : 0.0;
+  }
+};
+
+std::vector<SpecDelta> run_spec_comparison(bool smoke, int reps) {
+  MachineConfig off = wallclock_config();
+  off.mode = ExecMode::Hybrid1;
+  MachineConfig on = off;
+  on.specialize_edges = true;
+
+  using Runner = WorkloadResult (*)(bool, int, const MachineConfig&);
+  const std::pair<const char*, Runner> kernels[] = {
+      {"sor", run_sor}, {"em3d", run_em3d}, {"mdforce", run_md}};
+  std::vector<SpecDelta> deltas;
+  for (const auto& [name, runner] : kernels) {
+    SpecDelta d;
+    d.name = name;
+    d.off_best_s = runner(smoke, reps, off).best_wall_s;
+    const WorkloadResult r_on = runner(smoke, reps, on);
+    d.on_best_s = r_on.best_wall_s;
+    d.spec_nb_calls = r_on.spec_nb_calls;
+    deltas.push_back(d);
+  }
+  return deltas;
+}
+
+void write_json(const std::string& path, const std::vector<WorkloadResult>& results,
+                const std::vector<SpecDelta>& spec, bool smoke, int reps) {
   std::ofstream os(path);
   CONCERT_CHECK(os.good(), "cannot write " << path);
   os << "{\n"
@@ -262,6 +304,14 @@ void write_json(const std::string& path, const std::vector<WorkloadResult>& resu
        << ", \"loc_cache_hits\": " << r.loc_cache_hits
        << ", \"loc_cache_misses\": " << r.loc_cache_misses << "}"
        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"spec_comparison\": [\n";
+  for (std::size_t i = 0; i < spec.size(); ++i) {
+    const SpecDelta& d = spec[i];
+    os << "    {\"name\": \"" << d.name << "\", \"mode\": \"Hybrid1\""
+       << ", \"off_best_wall_s\": " << d.off_best_s << ", \"on_best_wall_s\": " << d.on_best_s
+       << ", \"spec_nb_calls\": " << d.spec_nb_calls
+       << ", \"speedup_frac\": " << d.delta() << "}" << (i + 1 < spec.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
 }
@@ -292,9 +342,9 @@ int main(int argc, char** argv) {
                        (smoke ? " (smoke)" : ""));
   std::vector<WorkloadResult> results;
   results.push_back(run_ping(smoke, reps));
-  results.push_back(run_sor(smoke, reps));
-  results.push_back(run_em3d(smoke, reps));
-  results.push_back(run_md(smoke, reps));
+  results.push_back(run_sor(smoke, reps, wallclock_config()));
+  results.push_back(run_em3d(smoke, reps, wallclock_config()));
+  results.push_back(run_md(smoke, reps, wallclock_config()));
 
   TablePrinter t({"workload", "best (s)", "mean (s)", "invocations", "msgs", "inv/s", "msg/s",
                   "avg inbox batch"});
@@ -307,7 +357,17 @@ int main(int argc, char** argv) {
   }
   t.print(std::cout);
 
-  write_json(json_path, results, smoke, reps);
+  const std::vector<SpecDelta> spec = run_spec_comparison(smoke, reps);
+  bench::print_caption("Edge specialization under Hybrid1 (off vs on)");
+  TablePrinter st({"kernel", "off best (s)", "on best (s)", "spec-NB calls", "speedup"});
+  for (const SpecDelta& d : spec) {
+    st.add_row({d.name, fmt_double(d.off_best_s, 4), fmt_double(d.on_best_s, 4),
+                std::to_string(d.spec_nb_calls),
+                fmt_double(d.delta() * 100.0, 1) + "%"});
+  }
+  st.print(std::cout);
+
+  write_json(json_path, results, spec, smoke, reps);
   std::cout << "\nwrote " << json_path << "\n";
   return 0;
 }

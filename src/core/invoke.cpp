@@ -16,22 +16,25 @@ void charge_seq_call(Node& nd, Schema callee_schema) {
   }
 }
 
-bool acquire_implicit_lock(Node& nd, const MethodInfo& mi, GlobalRef target) {
+bool acquire_implicit_lock(Node& nd, const MethodInfo& mi, MethodId m, GlobalRef target) {
   if (!mi.locks_self || !target.valid()) return false;
   nd.objects().lock(target);
+  nd.verifier.record_lock_acquire(m, target.pack());
   nd.charge(nd.costs().lock_check);
   return true;
 }
 
-bool acquire_implicit_lock(Node& nd, const DispatchEntry& de, GlobalRef target) {
+bool acquire_implicit_lock(Node& nd, const DispatchEntry& de, MethodId m, GlobalRef target) {
   if (!de.locks_self || !target.valid()) return false;
   nd.objects().lock(target);
+  nd.verifier.record_lock_acquire(m, target.pack());
   nd.charge(nd.costs().lock_check);
   return true;
 }
 
 void release_implicit_lock(Node& nd, GlobalRef target) {
   nd.objects().unlock(target);
+  nd.verifier.record_lock_release(target.pack());
   nd.charge(nd.costs().lock_check);
 }
 
@@ -133,7 +136,17 @@ bool Frame::call(MethodId callee, GlobalRef target, const Value* args, std::size
                  SlotId slot, Value* out) {
   nd_.verifier.record_call(method_, callee);
   const DispatchEntry& de = nd_.dispatch(callee);
-  const Schema schema = de.schema;
+  Schema schema = de.schema;
+  // Call-site specialization (concert-analyze): this specific edge was proved
+  // site-NB by the registry's per-edge refinement, so the site binds the NB
+  // convention even though the callee's global interface is more general —
+  // no CallerInfo setup, NB call cost, no fallback linkage. The locality /
+  // lock divert below is unaffected (it precedes the convention in both the
+  // specialized and general code paths).
+  if (schema != Schema::NonBlocking && nd_.site_specialized(method_, callee)) {
+    schema = Schema::NonBlocking;
+    ++nd_.stats.spec_stack_calls;
+  }
   charge_seq_call(nd_, schema);
 
   const bool is_remote = target.valid() && target.node != nd_.id();
@@ -165,7 +178,7 @@ bool Frame::call(MethodId callee, GlobalRef target, const Value* args, std::size
     ci.return_slot = slot;
     if (ctx_ != nullptr) ci.context = ctx_->ref();
   }
-  const bool locked_here = acquire_implicit_lock(nd_, de, target);
+  const bool locked_here = acquire_implicit_lock(nd_, de, callee, target);
   Context* fbk = de.seq(nd_, out, ci, target, args, nargs);
   if (fbk == nullptr) {
     if (locked_here) release_implicit_lock(nd_, target);
@@ -361,7 +374,13 @@ void ParFrame::spawn(MethodId callee, GlobalRef target, const Value* args, std::
     return;
   }
 
-  const Schema schema = de.schema;
+  Schema schema = de.schema;
+  // Edge specialization applies from parallel callers too: the declared edge
+  // is the same one the site fixpoint proved NB-bindable.
+  if (schema != Schema::NonBlocking && nd_.site_specialized(ctx_.method, callee)) {
+    schema = Schema::NonBlocking;
+    ++nd_.stats.spec_stack_calls;
+  }
   charge_seq_call(nd_, schema);
   const bool runnable_here = nd_.local_and_unlocked(target);
   const bool injected =
@@ -392,7 +411,7 @@ void ParFrame::spawn(MethodId callee, GlobalRef target, const Value* args, std::
     ci.return_slot = slot;
     ci.context = ctx_.ref();
   }
-  const bool locked_here = acquire_implicit_lock(nd_, de, target);
+  const bool locked_here = acquire_implicit_lock(nd_, de, callee, target);
   Value out[8];
   Context* fbk = de.seq(nd_, out, ci, target, args, nargs);
   if (fbk == nullptr) {

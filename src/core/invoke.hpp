@@ -180,9 +180,11 @@ void remote_invoke(Node& nd, MethodId callee, GlobalRef target, const Value* arg
 void charge_seq_call(Node& nd, Schema callee_schema);
 
 /// Implicit locking (MethodDecl::locks_self): acquire the target object's
-/// lock before running the method. Returns whether a lock was taken.
-bool acquire_implicit_lock(Node& nd, const MethodInfo& mi, GlobalRef target);
-bool acquire_implicit_lock(Node& nd, const DispatchEntry& de, GlobalRef target);
+/// lock before running method `m`. Returns whether a lock was taken. The
+/// method id feeds the verify recorder's lock-held shadow (concert-analyze);
+/// the runtime lock itself is keyed by the object alone.
+bool acquire_implicit_lock(Node& nd, const MethodInfo& mi, MethodId m, GlobalRef target);
+bool acquire_implicit_lock(Node& nd, const DispatchEntry& de, MethodId m, GlobalRef target);
 void release_implicit_lock(Node& nd, GlobalRef target);
 
 }  // namespace concert

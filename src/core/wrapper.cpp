@@ -110,6 +110,11 @@ void invoke_with_continuation(Node& nd, MethodId method, GlobalRef target, const
     }
   }
 
+  // The exported interface deliberately keeps the *global* effective schema:
+  // an invocation arriving here (a wrapper, a message handler) carries no
+  // caller identity, so there is no declared edge to specialize — which is
+  // exactly what makes the per-edge refinement in Frame::call *call-site*
+  // sensitive rather than a blanket schema downgrade.
   const Schema schema = de.schema;
   charge_seq_call(nd, schema);
   ++nd.stats.stack_calls;
@@ -117,7 +122,7 @@ void invoke_with_continuation(Node& nd, MethodId method, GlobalRef target, const
   Value rv[8];
   switch (schema) {
     case Schema::NonBlocking: {
-      const bool locked_here = acquire_implicit_lock(nd, de, target);
+      const bool locked_here = acquire_implicit_lock(nd, de, method, target);
       Context* fbk = de.seq(nd, rv, CallerInfo::none(), target, args, nargs);
       CONCERT_CHECK(fbk == nullptr, "non-blocking method " << nd.registry().info(method).name
                                                            << " fell back");
@@ -129,7 +134,7 @@ void invoke_with_continuation(Node& nd, MethodId method, GlobalRef target, const
       return;
     }
     case Schema::MayBlock: {
-      const bool locked_here = acquire_implicit_lock(nd, de, target);
+      const bool locked_here = acquire_implicit_lock(nd, de, method, target);
       Context* fbk = de.seq(nd, rv, CallerInfo::none(), target, args, nargs);
       if (fbk == nullptr) {
         if (locked_here) release_implicit_lock(nd, target);

@@ -8,6 +8,9 @@ namespace concert {
 
 Machine::Machine(std::size_t nodes, MachineConfig config) : config_(config) {
   CONCERT_CHECK(nodes > 0, "machine needs at least one node");
+  // The registry must know before seal() whether to materialize spec spans
+  // (apps declare + finalize against this machine's registry afterwards).
+  registry_.set_site_specialization(config_.specialize_edges);
   nodes_.reserve(nodes);
   for (std::size_t i = 0; i < nodes; ++i) {
     nodes_.push_back(std::make_unique<Node>(static_cast<NodeId>(i), *this));

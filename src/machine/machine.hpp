@@ -54,6 +54,12 @@ struct MachineConfig {
   /// simulated clocks and message counts are identical either way. Defaults
   /// on when built with -DCONCERT_VERIFY; runtime-togglable per machine.
   bool verify = kVerifyByDefault;
+  /// Call-site-sensitive schema specialization (concert-analyze): seal() also
+  /// materializes per-edge NB-at-site annotations and the invoke fast path
+  /// binds the NB convention on edges the site fixpoint proved cannot leave
+  /// the caller's stack. Off by default — with it off, dispatch tables, spec
+  /// spans and therefore every simulated clock are bit-identical to the seed.
+  bool specialize_edges = false;
 };
 
 class Machine {

@@ -31,6 +31,7 @@ void Node::bind_dispatch() {
   CONCERT_CHECK(reg.finalized(), "dispatch before registry seal()");
   dispatch_ = reg.dispatch_table(mode());
   dispatch_size_ = reg.size();
+  spec_ = reg.site_specialization() ? reg.spec_table(mode()) : nullptr;
 }
 
 Context& Node::alloc_context(MethodId m) {
@@ -112,11 +113,22 @@ bool Node::run_one() {
     if (de.locks_self && ctx.self.valid() && !ctx.holds_lock) {
       if (objects_.locked(ctx.self)) {
         charge(costs().lock_check);
+        if (verifier.enabled() && deadlocked_on_ancestor(ctx)) {
+          // Observed self-deadlock: the lock's holder is an *ancestor* of
+          // this invocation, so re-deferring would spin forever. Quarantine
+          // the context (park it Waiting, off the ready queue, retiring its
+          // work credit) so both engines still reach quiescence, where the
+          // conformance sanitizer reports ReentrantAcquire — throwing from
+          // here would std::terminate a threaded-engine worker.
+          ctx.status = ContextStatus::Waiting;
+          return true;
+        }
         ready_.push_back(cid);  // defer to the back of the queue
         machine_.on_work_created();
         return true;
       }
       objects_.lock(ctx.self);
+      verifier.record_lock_acquire(ctx.method, ctx.self.pack());
       charge(costs().lock_check);
       ctx.holds_lock = true;
     }
@@ -138,6 +150,28 @@ std::uint32_t Node::arena_gen_of(ContextId id) {
   Context* ctx = arena_.try_resolve_any_gen(id);
   CONCERT_CHECK(ctx != nullptr, "ready queue refers to freed context " << id);
   return ctx->gen;
+}
+
+bool Node::deadlocked_on_ancestor(const Context& ctx) {
+  // Follow the reply chain upward: ctx replies into its caller's context,
+  // that one into its caller's, ... The walk is local-only (a remote hop
+  // means the holder is on another node, where this node cannot inspect —
+  // and a genuinely remote holder is making progress anyway) and hop-capped
+  // as a cycle/pathology guard. Runs only on the deferred path of verify
+  // builds, so it costs nothing when verification is off and is outside the
+  // cost model when on.
+  constexpr int kMaxHops = 64;
+  Continuation k = ctx.ret;
+  for (int hop = 0; hop < kMaxHops && k.valid() && k.target.node == id_; ++hop) {
+    const Context* anc = arena_.try_resolve(k.target);
+    if (anc == nullptr) break;
+    if (anc->holds_lock && anc->self == ctx.self) {
+      verifier.record_reentrant_acquire(anc->method, ctx.method);
+      return true;
+    }
+    k = anc->ret;
+  }
+  return false;
 }
 
 void Node::send(Message msg) {

@@ -58,6 +58,24 @@ class Node {
     CONCERT_CHECK(m < dispatch_size_, "bad method id " << m);
     return dispatch_[m];
   }
+
+  /// Call-site specialization probe (concert-analyze): true when the declared
+  /// edge caller -> callee may bind the NB convention at the site under this
+  /// machine's mode. One null check when the feature is off; a short scan of
+  /// the caller's spec span when on. Disabled wholesale while the block
+  /// injector is active — injected blocks would force a "provably
+  /// non-blocking" callee through the fallback path a specialized site no
+  /// longer compiles in.
+  bool site_specialized(MethodId caller, MethodId callee) {
+    if (spec_ == nullptr || caller == kInvalidMethod) return false;
+    if (injector_.enabled()) return false;
+    const DispatchEntry& ce = dispatch(caller);
+    const MethodId* p = spec_ + ce.spec_begin;
+    for (const MethodId* e = p + ce.spec_count; p != e; ++p) {
+      if (*p == callee) return true;
+    }
+    return false;
+  }
   const CostModel& costs() const;
   ExecMode mode() const;
   FallbackPolicy fallback_policy() const;
@@ -161,6 +179,7 @@ class Node {
 
   // ---- test hooks ----
   BlockInjector& injector() { return injector_; }
+  const BlockInjector& injector() const { return injector_; }
 
   NodeStats stats;
   SplitMix64 rng;
@@ -172,6 +191,12 @@ class Node {
 
  private:
   std::uint32_t arena_gen_of(ContextId id);
+  /// Dynamic self-deadlock probe (concert-analyze; verify builds only): walks
+  /// the deferred context's local continuation chain looking for an ancestor
+  /// activation that holds the very lock `ctx` is waiting for. Such an
+  /// invocation can never be dispatched — the holder cannot complete until
+  /// the chain it spawned (including `ctx`) replies.
+  bool deadlocked_on_ancestor(const Context& ctx);
   /// Reply fill / wrapper execution shared by plain messages and bundle
   /// elements (per-message overhead already charged by deliver()).
   void deliver_element(Message& msg);
@@ -192,6 +217,9 @@ class Node {
   // Flat dispatch table for this machine's mode; bound on first dispatch().
   const DispatchEntry* dispatch_ = nullptr;
   std::size_t dispatch_size_ = 0;
+  // Flat spec-callee array the dispatch entries' spec spans index into;
+  // nullptr unless MachineConfig::specialize_edges put entries in it.
+  const MethodId* spec_ = nullptr;
   Outbox outbox_;  ///< Staged outgoing messages; touched only by this node's thread.
   std::vector<Message> flush_scratch_;  ///< Reused drain buffer (capacity cycles).
   ObjectSpace objects_;

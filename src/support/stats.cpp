@@ -7,6 +7,7 @@ namespace concert {
 NodeStats& NodeStats::operator+=(const NodeStats& o) {
   stack_calls += o.stack_calls;
   stack_completions += o.stack_completions;
+  spec_stack_calls += o.spec_stack_calls;
   fallbacks += o.fallbacks;
   heap_invokes += o.heap_invokes;
   local_invokes += o.local_invokes;
@@ -57,7 +58,8 @@ void NodeStats::record_bundle(std::size_t n) {
 std::string NodeStats::summary() const {
   std::ostringstream os;
   os << "invocations: stack=" << stack_calls << " (completed " << stack_completions
-     << ", fell back " << fallbacks << "), heap=" << heap_invokes << ", local=" << local_invokes
+     << ", fell back " << fallbacks << ", spec-NB " << spec_stack_calls
+     << "), heap=" << heap_invokes << ", local=" << local_invokes
      << ", remote=" << remote_invokes << "\n"
      << "contexts: alloc=" << contexts_allocated << " free=" << contexts_freed
      << " suspend=" << suspensions << " resume=" << resumptions << " proxy=" << proxy_contexts

@@ -30,6 +30,9 @@ const char* violation_kind_name(ViolationKind k) {
     case ViolationKind::UndeclaredForward: return "undeclared-forward";
     case ViolationKind::NonBlockingBlocked: return "nb-blocked";
     case ViolationKind::ContUseOutsideCP: return "cont-use-outside-cp";
+    case ViolationKind::ReentrantAcquire: return "reentrant-acquire";
+    case ViolationKind::LockHeldAtQuiescence: return "lock-held-at-quiescence";
+    case ViolationKind::SiteSpecBlocked: return "site-spec-blocked";
   }
   return "?";
 }
@@ -97,6 +100,59 @@ ConformanceReport check_conformance(const Machine& mach) {
       os << name_of(reg, m) << " was committed NonBlocking but blocked at runtime";
       report.violations.push_back(
           Violation{ViolationKind::NonBlockingBlocked, n, m, kInvalidMethod, os.str()});
+    }
+
+    // Implicit-lock tracking (concert-analyze). Observed reentrant
+    // acquisitions are unconditional violations: the scheduler proved the
+    // holder is an ancestor of the deferred invocation, which can therefore
+    // never be dispatched.
+    {
+      std::vector<std::uint64_t> reentrants(rec.observed_reentrants().begin(),
+                                            rec.observed_reentrants().end());
+      std::sort(reentrants.begin(), reentrants.end());
+      for (std::uint64_t k : reentrants) {
+        const MethodId holder = VerifyRecorder::key_caller(k);
+        const MethodId deferred = VerifyRecorder::key_callee(k);
+        std::ostringstream os;
+        os << name_of(reg, deferred) << " was deferred on an implicit lock held by its own "
+           << "ancestor " << name_of(reg, holder)
+           << " (observed self-deadlock; the invocation was quarantined)";
+        report.violations.push_back(
+            Violation{ViolationKind::ReentrantAcquire, n, holder, deferred, os.str()});
+      }
+    }
+    {
+      // Deterministic order: the recorder's held map is hash-ordered.
+      std::vector<std::pair<std::uint64_t, MethodId>> held(rec.held_locks().begin(),
+                                                           rec.held_locks().end());
+      std::sort(held.begin(), held.end());
+      for (const auto& [obj, m] : held) {
+        std::ostringstream os;
+        os << name_of(reg, m) << " still holds the implicit lock of object "
+           << GlobalRef::unpack(obj).node << ":" << GlobalRef::unpack(obj).index
+           << " at quiescence (leaked bracket or quarantined deadlock)";
+        report.violations.push_back(
+            Violation{ViolationKind::LockHeldAtQuiescence, n, m, kInvalidMethod, os.str()});
+      }
+    }
+
+    // Site-specialization soundness: only meaningful when the machine binds
+    // NB on specialized edges — an unspecialized run may legitimately see a
+    // site-NB method block (its own call diverted to a remote or locked
+    // target), which is exactly the fallback the general convention handles.
+    // The block injector artificially blocks provably-NB callees, so injector
+    // nodes are exempt, as is ParallelOnly (everything suspends there).
+    if (mach.config().specialize_edges && mode != ExecMode::ParallelOnly &&
+        !mach.node(n).injector().enabled()) {
+      for (MethodId m : rec.observed_blocked()) {
+        if (m >= reg.size() || !reg.info(m).site_nonblocking) continue;
+        std::ostringstream os;
+        os << name_of(reg, m)
+           << " was classified non-blocking at-site but blocked at runtime; a specialized "
+           << "edge into it would have stranded its caller";
+        report.violations.push_back(
+            Violation{ViolationKind::SiteSpecBlocked, n, m, kInvalidMethod, os.str()});
+      }
     }
 
     for (MethodId m : rec.observed_cont_uses()) {

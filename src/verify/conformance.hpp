@@ -12,6 +12,13 @@
 //   * a method that used its continuation runs under the CP interface for
 //     this machine's ExecMode (Hybrid1 legally degrades MB methods to CP,
 //     so this check uses effective_schema, not the declared one)
+//   * every implicit-lock acquire was matched by a release by quiescence,
+//     and no deferred invocation ever waited on a lock held by its own
+//     ancestor (an observed self-deadlock — the dynamic counterpart of the
+//     linter's SelfDeadlock/LockOrderCycle analysis)
+//   * under edge specialization, a method the site fixpoint classified
+//     NB-at-site never actually blocked (else a specialized binding of an
+//     edge into it could strand a caller)
 #pragma once
 
 #include <cstdint>
@@ -32,6 +39,10 @@ enum class ViolationKind : std::uint8_t {
   UndeclaredForward,   ///< Executed forwarding edge missing from forwards_to.
   NonBlockingBlocked,  ///< NB-committed method blocked at runtime.
   ContUseOutsideCP,    ///< Continuation manipulated outside the CP interface.
+  // concert-analyze: implicit-lock tracking.
+  ReentrantAcquire,       ///< Deferred invocation whose lock holder is its own ancestor.
+  LockHeldAtQuiescence,   ///< Implicit lock never released (leaked bracket / quarantined deadlock).
+  SiteSpecBlocked,        ///< Site-NB-classified method blocked under edge specialization.
 };
 
 const char* violation_kind_name(ViolationKind k);

@@ -34,6 +34,66 @@ void add(LintReport& report, LintCode code, Severity sev, MethodId m, MethodId o
   report.diagnostics.push_back(Diagnostic{code, sev, m, other, std::move(message)});
 }
 
+/// Why can an invocation of a method fail to complete on the caller's stack?
+/// Shortest call-graph path from the method to the nearest site-blocking seed
+/// (the site_may_block analogue of explain_schema's MayBlock branch).
+struct SiteBlame {
+  std::vector<MethodId> path;
+  std::string reason;
+};
+
+std::string site_seed_reason(const MethodInfo& m) {
+  if (m.blocks_locally) return "blocks locally";
+  if (m.uses_continuation) return "stores or uses its continuation";
+  if (!m.forwards_to.empty()) return "forwards its continuation";
+  if (m.locks_self) return "holds its target's implicit lock";
+  return "site-blocking (no declared cause — inconsistent facts)";
+}
+
+SiteBlame explain_site_blocking(const std::vector<MethodInfo>& methods, const FlowFacts& facts,
+                                MethodId from) {
+  const std::size_t n = methods.size();
+  const auto is_seed = [&](MethodId x) {
+    const MethodInfo& m = methods[x];
+    return m.blocks_locally || m.uses_continuation || !m.forwards_to.empty() || m.locks_self;
+  };
+  SiteBlame blame;
+  if (from >= n || facts.site_may_block[from] == 0) {
+    blame.reason = "provably completes on the stack";
+    return blame;
+  }
+  std::vector<MethodId> parent(n, kInvalidMethod);
+  std::vector<std::uint8_t> seen(n, 0);
+  std::deque<MethodId> frontier{from};
+  seen[from] = 1;
+  MethodId cause = is_seed(from) ? from : kInvalidMethod;
+  while (cause == kInvalidMethod && !frontier.empty()) {
+    const MethodId cur = frontier.front();
+    frontier.pop_front();
+    for (MethodId c : methods[cur].callees) {
+      if (c >= n || seen[c]) continue;
+      seen[c] = 1;
+      parent[c] = cur;
+      if (is_seed(c)) {
+        cause = c;
+        break;
+      }
+      frontier.push_back(c);
+    }
+  }
+  if (cause == kInvalidMethod) {
+    blame.reason = "site-blocking (no declared cause — inconsistent facts)";
+    return blame;
+  }
+  for (MethodId cur = cause; cur != kInvalidMethod; cur = parent[cur]) {
+    blame.path.push_back(cur);
+    if (cur == from) break;
+  }
+  std::reverse(blame.path.begin(), blame.path.end());
+  blame.reason = site_seed_reason(methods[cause]);
+  return blame;
+}
+
 }  // namespace
 
 const char* lint_code_name(LintCode c) {
@@ -49,6 +109,10 @@ const char* lint_code_name(LintCode c) {
     case LintCode::SchemaMismatch: return "schema-mismatch";
     case LintCode::UnreachableMethod: return "unreachable";
     case LintCode::DuplicateName: return "duplicate-name";
+    case LintCode::SelfDeadlock: return "self-deadlock";
+    case LintCode::LockOrderCycle: return "lock-order-cycle";
+    case LintCode::SpecEdgeInvalid: return "spec-edge-invalid";
+    case LintCode::SpecUnsound: return "spec-unsound";
   }
   return "?";
 }
@@ -176,6 +240,53 @@ LintReport lint_methods(const std::vector<MethodInfo>& methods) {
     }
   }
 
+  // --- lock-order deadlock detection (concert-analyze) -----------------------
+  for (const LockCycle& cycle : find_lock_cycles(methods)) {
+    const bool self = cycle.holder == cycle.reacquirer;
+    add(report, self ? LintCode::SelfDeadlock : LintCode::LockOrderCycle, Severity::Error,
+        cycle.holder, cycle.reacquirer, format_lock_cycle(methods, cycle));
+  }
+
+  // --- call-site specialization cross-check (concert-analyze) ----------------
+  // A site-specialized edge binds the NB convention, so it must be a plain
+  // declared call edge to a method the site fixpoint proves cannot leave the
+  // caller's stack. Raw (never-analyzed) tables carry empty nb_site_callees
+  // and skip this section entirely.
+  for (std::size_t i = 0; i < n; ++i) {
+    const MethodInfo& m = methods[i];
+    const MethodId mi = static_cast<MethodId>(i);
+    for (MethodId c : m.nb_site_callees) {
+      if (c >= n) {
+        std::ostringstream os;
+        os << m.name << ": site-specialized edge to unregistered method id " << c;
+        add(report, LintCode::SpecEdgeInvalid, Severity::Error, mi, c, os.str());
+        continue;
+      }
+      if (std::find(m.callees.begin(), m.callees.end(), c) == m.callees.end()) {
+        std::ostringstream os;
+        os << m.name << ": site-specialized edge to " << name_of(methods, c)
+           << " without a matching call edge";
+        add(report, LintCode::SpecEdgeInvalid, Severity::Error, mi, c, os.str());
+        continue;
+      }
+      if (std::find(m.forwards_to.begin(), m.forwards_to.end(), c) != m.forwards_to.end()) {
+        std::ostringstream os;
+        os << m.name << ": site-specialized edge to " << name_of(methods, c)
+           << " is a forwarding edge (handing the continuation over needs the CP convention)";
+        add(report, LintCode::SpecEdgeInvalid, Severity::Error, mi, c, os.str());
+        continue;
+      }
+      if (facts.site_may_block[c] != 0) {
+        const SiteBlame blame = explain_site_blocking(methods, facts, c);
+        std::ostringstream os;
+        os << m.name << " -> " << name_of(methods, c)
+           << ": site-specialized edge can reach a blocking path: "
+           << join_path(methods, blame.path) << " (" << blame.reason << ")";
+        add(report, LintCode::SpecUnsound, Severity::Error, mi, c, os.str());
+      }
+    }
+  }
+
   // --- reachability ----------------------------------------------------------
   // Entry points are methods no *other* method calls (self-recursion ignored);
   // anything not reachable from an entry point can only be invoked by code
@@ -240,6 +351,87 @@ LintReport lint_methods(const std::vector<MethodInfo>& methods) {
 LintReport lint_registry(const MethodRegistry& reg) {
   CONCERT_CHECK(reg.finalized(), "lint_registry needs a finalized registry");
   return lint_methods(reg.methods());
+}
+
+// ---------------------------------------------------------------------------
+// Lock-order deadlock detection
+// ---------------------------------------------------------------------------
+
+bool locks_may_alias(const MethodInfo& a, const MethodInfo& b) {
+  return a.class_id == 0 || b.class_id == 0 || a.class_id == b.class_id;
+}
+
+std::vector<LockCycle> find_lock_cycles(const std::vector<MethodInfo>& methods) {
+  const std::size_t n = methods.size();
+  std::vector<LockCycle> cycles;
+  for (std::size_t h = 0; h < n; ++h) {
+    const MethodInfo& holder = methods[h];
+    if (!holder.locks_self) continue;
+    // While `holder` runs, its target's lock is held for the entire
+    // activation — including everything the activation invokes, directly or
+    // through forwarded continuations (a fallen-back callee keeps running
+    // under the held lock until the holder's own completion releases it).
+    // BFS over call ∪ forwarding edges from the holder's callees; the first
+    // locks_self method of an aliasing class reached is the shortest
+    // potential re-acquisition. Forwarding edges are normally a subset of
+    // call edges, but tampered tables may declare them alone — walk both.
+    std::vector<MethodId> parent(n, kInvalidMethod);
+    std::vector<std::uint8_t> seen(n, 0);
+    std::deque<MethodId> frontier;
+    MethodId hit = kInvalidMethod;
+    const auto visit = [&](MethodId from, MethodId to) {
+      if (to >= n || seen[to] || hit != kInvalidMethod) return;
+      seen[to] = 1;
+      parent[to] = from;
+      if (methods[to].locks_self && locks_may_alias(holder, methods[to])) {
+        hit = to;
+        return;
+      }
+      frontier.push_back(to);
+    };
+    const MethodId hm = static_cast<MethodId>(h);
+    for (MethodId c : holder.callees) visit(hm, c);
+    for (MethodId c : holder.forwards_to) visit(hm, c);
+    while (hit == kInvalidMethod && !frontier.empty()) {
+      const MethodId cur = frontier.front();
+      frontier.pop_front();
+      for (MethodId c : methods[cur].callees) visit(cur, c);
+      for (MethodId c : methods[cur].forwards_to) visit(cur, c);
+    }
+    if (hit == kInvalidMethod) continue;
+    LockCycle cycle;
+    cycle.holder = hm;
+    cycle.reacquirer = hit;
+    // Walk parents back to the holder. The holder is pushed when reached —
+    // which for a self cycle (hit == hm) is the *second* time it appears, so
+    // the witness reads "L -> ... -> L".
+    for (MethodId cur = hit;; cur = parent[cur]) {
+      cycle.path.push_back(cur);
+      if (cur == hm && cycle.path.size() > 1) break;
+    }
+    std::reverse(cycle.path.begin(), cycle.path.end());
+    cycles.push_back(std::move(cycle));
+  }
+  return cycles;
+}
+
+std::string format_lock_cycle(const std::vector<MethodInfo>& methods, const LockCycle& cycle) {
+  std::ostringstream os;
+  os << name_of(methods, cycle.holder) << " [locks]: " << join_path(methods, cycle.path);
+  if (cycle.holder == cycle.reacquirer) {
+    os << " (re-invokes itself while its target's implicit lock is still held"
+       << " — the re-acquisition defers forever)";
+  } else {
+    const MethodInfo& re = methods[cycle.reacquirer];
+    os << " (" << name_of(methods, cycle.reacquirer) << " re-acquires the implicit lock of ";
+    if (re.class_id == 0 || methods[cycle.holder].class_id == 0) {
+      os << "a possibly-aliasing class";
+    } else {
+      os << "class " << re.class_id;
+    }
+    os << " while " << name_of(methods, cycle.holder) << " still holds it)";
+  }
+  return os.str();
 }
 
 // ---------------------------------------------------------------------------

@@ -39,6 +39,12 @@ enum class LintCode : std::uint8_t {
   SchemaMismatch,       ///< Committed schema differs from the recomputed fixpoint.
   UnreachableMethod,    ///< Not reachable from any entry point (warning).
   DuplicateName,        ///< Two methods share a name; find() is ambiguous (warning).
+  // concert-analyze: lock-order deadlock detection.
+  SelfDeadlock,         ///< locks_self method transitively re-invokes itself.
+  LockOrderCycle,       ///< locks_self method reaches another lock of an aliasing class.
+  // concert-analyze: call-site specialization cross-checks.
+  SpecEdgeInvalid,      ///< nb_site_callees entry that is dangling / not a call edge / a forward.
+  SpecUnsound,          ///< Site-specialized edge can reach a blocking path.
 };
 
 const char* lint_code_name(LintCode c);
@@ -91,6 +97,34 @@ struct BlameChain {
 
 /// Explains one method's classification from the declared facts.
 BlameChain explain_schema(const std::vector<MethodInfo>& methods, MethodId m);
+
+// ---------------------------------------------------------------------------
+// concert-analyze: lock-order deadlock detection.
+// ---------------------------------------------------------------------------
+
+/// A potential implicit-lock deadlock: while `holder` (a locks_self method)
+/// holds its target's lock, the declared invocation graph — call edges and
+/// forwarding edges alike — can reach `reacquirer`, another locks_self method
+/// whose class may alias the holder's. If the targets coincide at runtime the
+/// re-acquisition defers forever behind the held lock (the holder cannot
+/// complete until the path it spawned does). `path` is the shortest witness,
+/// holder first, reacquirer last (holder == reacquirer for self cycles).
+struct LockCycle {
+  MethodId holder = kInvalidMethod;
+  MethodId reacquirer = kInvalidMethod;
+  std::vector<MethodId> path;
+};
+
+/// Whether two methods' implicit locks may guard the same object: same
+/// class_id, or either is 0 (unclassed — conservatively aliases everything).
+bool locks_may_alias(const MethodInfo& a, const MethodInfo& b);
+
+/// Finds every potential lock cycle (one shortest witness per holder).
+/// Pure and panic-free, like lint_methods.
+std::vector<LockCycle> find_lock_cycles(const std::vector<MethodInfo>& methods);
+
+/// "bump [locks]: bump -> helper -> bump (re-acquires the lock it holds)".
+std::string format_lock_cycle(const std::vector<MethodInfo>& methods, const LockCycle& cycle);
 
 /// "fib [MB]: fib -> helper (blocks locally)" — one line.
 std::string format_blame(const std::vector<MethodInfo>& methods, const BlameChain& chain);

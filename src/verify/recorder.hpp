@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "core/ids.hpp"
@@ -27,12 +28,18 @@ struct VerifyStats {
   std::uint64_t forwards = 0;   ///< record_forward events.
   std::uint64_t blocks = 0;     ///< record_block events.
   std::uint64_t cont_uses = 0;  ///< record_cont_use events.
+  std::uint64_t lock_acquires = 0;       ///< record_lock_acquire events.
+  std::uint64_t lock_releases = 0;       ///< record_lock_release events.
+  std::uint64_t reentrant_acquires = 0;  ///< record_reentrant_acquire events.
 
   VerifyStats& operator+=(const VerifyStats& o) {
     calls += o.calls;
     forwards += o.forwards;
     blocks += o.blocks;
     cont_uses += o.cont_uses;
+    lock_acquires += o.lock_acquires;
+    lock_releases += o.lock_releases;
+    reentrant_acquires += o.reentrant_acquires;
     return *this;
   }
 };
@@ -72,11 +79,45 @@ class VerifyRecorder {
     cont_used_.insert(m);
   }
 
+  // ---- implicit-lock tracking (concert-analyze) ----
+  // The runtime brackets every locks_self activation with acquire/release; the
+  // recorder shadows the lock-held set per node so conformance.cpp can flag a
+  // lock still held at quiescence (a leaked bracket, or a quarantined
+  // deadlock) and so the scheduler's deadlock probe has the holder's method.
+
+  /// Method `m` acquired the implicit lock of the object packed as `obj`
+  /// (GlobalRef::pack()).
+  void record_lock_acquire(MethodId m, std::uint64_t obj) {
+    if (!enabled_) return;
+    ++stats_.lock_acquires;
+    held_[obj] = m;
+  }
+
+  /// The implicit lock of `obj` was released.
+  void record_lock_release(std::uint64_t obj) {
+    if (!enabled_) return;
+    ++stats_.lock_releases;
+    held_.erase(obj);
+  }
+
+  /// The scheduler caught a deferred invocation of `deferred` whose target's
+  /// lock is held by one of its own ancestors running `holder` — an observed
+  /// self-deadlock (the dynamic counterpart of lint's SelfDeadlock).
+  void record_reentrant_acquire(MethodId holder, MethodId deferred) {
+    if (!enabled_) return;
+    ++stats_.reentrant_acquires;
+    reentrants_.insert(key(holder, deferred));
+  }
+
   const VerifyStats& stats() const { return stats_; }
   const std::unordered_set<std::uint64_t>& observed_calls() const { return calls_; }
   const std::unordered_set<std::uint64_t>& observed_forwards() const { return forwards_; }
   const std::unordered_set<MethodId>& observed_blocked() const { return blocked_; }
   const std::unordered_set<MethodId>& observed_cont_uses() const { return cont_used_; }
+  /// Currently-held implicit locks: GlobalRef::pack() -> holding method.
+  const std::unordered_map<std::uint64_t, MethodId>& held_locks() const { return held_; }
+  /// Observed reentrant acquisitions, keyed key(holder, deferred).
+  const std::unordered_set<std::uint64_t>& observed_reentrants() const { return reentrants_; }
 
   static std::uint64_t key(MethodId caller, MethodId callee) {
     return (static_cast<std::uint64_t>(caller) << 32) | callee;
@@ -91,6 +132,8 @@ class VerifyRecorder {
   std::unordered_set<std::uint64_t> forwards_;
   std::unordered_set<MethodId> blocked_;
   std::unordered_set<MethodId> cont_used_;
+  std::unordered_map<std::uint64_t, MethodId> held_;
+  std::unordered_set<std::uint64_t> reentrants_;
 };
 
 }  // namespace concert::verify

@@ -2,12 +2,20 @@
 //
 // Builds each app's method registry exactly as the benchmarks do, runs the
 // analysis, and lints the result (src/verify/lint.hpp). Exit status is the
-// total number of lint errors (0 = every registry is sound).
+// total number of reported lint errors (0 = every linted registry is sound).
 //
 //   concert_lint                 lint every app
 //   concert_lint sor em3d        lint a subset
 //   concert_lint --blame         also explain every non-NB classification
+//   concert_lint --deadlock      only the lock-order deadlock diagnostics
+//   concert_lint --specialize    only the edge-specialization diagnostics,
+//                                plus each app's NB-at-site edge list
+//   concert_lint --json          machine-readable report on stdout (CI)
 //   concert_lint --list          list known app names
+//
+// The `deadlock-demo` registry deliberately contains implicit-lock cycles
+// (it exists so the detector's witnesses can be demonstrated end to end);
+// it is linted only when named explicitly and never joins the default sweep.
 #include <algorithm>
 #include <cstring>
 #include <functional>
@@ -25,13 +33,65 @@
 
 namespace {
 
+using concert::MethodRegistry;
+using concert::verify::Diagnostic;
+using concert::verify::LintCode;
+using concert::verify::LintReport;
+using concert::verify::Severity;
+
 struct App {
   const char* name;
-  std::function<void(concert::MethodRegistry&)> build;
+  std::function<void(MethodRegistry&)> build;
+  bool in_default_sweep = true;
 };
 
+// Stub code versions for the demo registry (its methods are never executed —
+// the linter works from declared facts alone).
+concert::Context* demo_seq(concert::Node&, concert::Value* ret, const concert::CallerInfo&,
+                           concert::GlobalRef, const concert::Value*, std::size_t) {
+  if (ret != nullptr) *ret = concert::Value::nil();
+  return nullptr;
+}
+void demo_par(concert::Node&, concert::Context&) {}
+
+concert::MethodId demo_decl(MethodRegistry& reg, const char* name, bool locks_self,
+                            std::uint32_t class_id) {
+  concert::MethodDecl d;
+  d.name = name;
+  d.seq = demo_seq;
+  d.par = demo_par;
+  d.locks_self = locks_self;
+  d.class_id = class_id;
+  return reg.declare(d);
+}
+
+/// A registry seeded with the lock-cycle shapes the detector is built for:
+/// direct self-recursion under a held lock, a cycle through a non-locking
+/// intermediary, and a cross-class reacquisition through an unclassed method
+/// (class 0 conservatively aliases everything).
+void register_deadlock_demo(MethodRegistry& reg) {
+  const auto self_rec = demo_decl(reg, "self_rec", /*locks_self=*/true, /*class_id=*/1);
+  reg.add_callee(self_rec, self_rec);
+
+  const auto bump = demo_decl(reg, "bump", true, 1);
+  const auto helper = demo_decl(reg, "helper", false, 0);
+  reg.add_callee(bump, helper);
+  reg.add_callee(helper, bump);
+
+  const auto lock_a = demo_decl(reg, "lock_a", true, 2);
+  const auto mid = demo_decl(reg, "mid", false, 0);
+  const auto lock_unclassed = demo_decl(reg, "lock_unclassed", true, 0);
+  reg.add_callee(lock_a, mid);
+  reg.add_callee(mid, lock_unclassed);
+
+  // Control group: holding a class-3 lock while taking a class-4 lock is not
+  // a cycle — the classes cannot alias.
+  const auto lock_c = demo_decl(reg, "lock_c", true, 3);
+  const auto lock_d = demo_decl(reg, "lock_d", true, 4);
+  reg.add_callee(lock_c, lock_d);
+}
+
 const std::vector<App>& apps() {
-  using concert::MethodRegistry;
   static const std::vector<App> kApps = {
       {"sor", [](MethodRegistry& reg) { concert::sor::register_sor(reg, {}); }},
       {"mdforce",
@@ -46,54 +106,190 @@ const std::vector<App>& apps() {
        [](MethodRegistry& reg) { concert::seqbench::register_seqbench(reg, false); }},
       {"seqbench-dist",
        [](MethodRegistry& reg) { concert::seqbench::register_seqbench(reg, true); }},
+      {"deadlock-demo", register_deadlock_demo, /*in_default_sweep=*/false},
   };
   return kApps;
 }
 
-int lint_app(const App& app, bool blame) {
-  concert::MethodRegistry reg;
+enum PassMask : unsigned {
+  kPassDeadlock = 1u << 0,
+  kPassSpecialize = 1u << 1,
+  kPassAll = ~0u,
+};
+
+unsigned pass_of(LintCode c) {
+  switch (c) {
+    case LintCode::SelfDeadlock:
+    case LintCode::LockOrderCycle: return kPassDeadlock;
+    case LintCode::SpecEdgeInvalid:
+    case LintCode::SpecUnsound: return kPassSpecialize;
+    default: return kPassAll & ~(kPassDeadlock | kPassSpecialize);
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string method_name(const MethodRegistry& reg, concert::MethodId m) {
+  return m < reg.size() ? reg.info(m).name : std::string("?");
+}
+
+struct AppResult {
+  std::string name;
+  std::size_t methods = 0;
+  std::vector<Diagnostic> shown;  ///< Diagnostics surviving the pass filter.
+  std::vector<std::pair<std::string, std::string>> spec_edges;  ///< caller -> callee names.
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+};
+
+AppResult lint_app(const App& app, unsigned passes, bool want_spec_edges) {
+  MethodRegistry reg;
   app.build(reg);
   reg.finalize();
-  const concert::verify::LintReport report = concert::verify::lint_registry(reg);
-  std::cout << app.name << ": " << reg.size() << " methods, " << report.error_count()
-            << " error(s), " << report.warning_count() << " warning(s)\n";
-  if (!report.diagnostics.empty()) std::cout << report.to_string();
-  if (blame) std::cout << concert::verify::blame_report(reg);
-  return static_cast<int>(report.error_count());
+  const LintReport report = concert::verify::lint_registry(reg);
+
+  AppResult r;
+  r.name = app.name;
+  r.methods = reg.size();
+  for (const Diagnostic& d : report.diagnostics) {
+    if ((pass_of(d.code) & passes) == 0) continue;
+    r.shown.push_back(d);
+    if (d.severity == Severity::Error) {
+      ++r.errors;
+    } else {
+      ++r.warnings;
+    }
+  }
+  if (want_spec_edges) {
+    for (std::size_t i = 0; i < reg.size(); ++i) {
+      const concert::MethodInfo& mi = reg.methods()[i];
+      for (concert::MethodId c : mi.nb_site_callees) {
+        r.spec_edges.emplace_back(mi.name, method_name(reg, c));
+      }
+    }
+  }
+  return r;
+}
+
+void print_text(const App& app, const AppResult& r, bool blame) {
+  std::cout << r.name << ": " << r.methods << " methods, " << r.errors << " error(s), "
+            << r.warnings << " warning(s)\n";
+  for (const Diagnostic& d : r.shown) {
+    std::cout << (d.severity == Severity::Error ? "error" : "warning") << ": ["
+              << lint_code_name(d.code) << "] " << d.message << "\n";
+  }
+  for (const auto& [caller, callee] : r.spec_edges) {
+    std::cout << "spec-edge: " << caller << " -> " << callee << " [NB at site]\n";
+  }
+  if (blame) {
+    MethodRegistry reg;
+    app.build(reg);
+    reg.finalize();
+    std::cout << concert::verify::blame_report(reg);
+  }
+}
+
+void print_json(const std::vector<AppResult>& results, int total_errors) {
+  std::cout << "{\n  \"apps\": [\n";
+  for (std::size_t a = 0; a < results.size(); ++a) {
+    const AppResult& r = results[a];
+    std::cout << "    {\n      \"name\": \"" << json_escape(r.name) << "\",\n"
+              << "      \"methods\": " << r.methods << ",\n"
+              << "      \"errors\": " << r.errors << ",\n"
+              << "      \"warnings\": " << r.warnings << ",\n"
+              << "      \"diagnostics\": [";
+    for (std::size_t i = 0; i < r.shown.size(); ++i) {
+      const Diagnostic& d = r.shown[i];
+      std::cout << (i ? "," : "") << "\n        {\"code\": \"" << lint_code_name(d.code)
+                << "\", \"severity\": \""
+                << (d.severity == Severity::Error ? "error" : "warning")
+                << "\", \"message\": \"" << json_escape(d.message) << "\"}";
+    }
+    std::cout << (r.shown.empty() ? "]" : "\n      ]");
+    if (!r.spec_edges.empty()) {
+      std::cout << ",\n      \"spec_edges\": [";
+      for (std::size_t i = 0; i < r.spec_edges.size(); ++i) {
+        std::cout << (i ? "," : "") << "\n        {\"caller\": \""
+                  << json_escape(r.spec_edges[i].first) << "\", \"callee\": \""
+                  << json_escape(r.spec_edges[i].second) << "\"}";
+      }
+      std::cout << "\n      ]";
+    }
+    std::cout << "\n    }" << (a + 1 < results.size() ? "," : "") << "\n";
+  }
+  std::cout << "  ],\n  \"total_errors\": " << total_errors << "\n}\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bool blame = false;
+  bool json = false;
+  unsigned passes = 0;  // 0 = no selective pass requested; becomes kPassAll
   std::vector<std::string> wanted;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--blame") == 0) {
       blame = true;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--deadlock") == 0) {
+      passes |= kPassDeadlock;
+    } else if (std::strcmp(argv[i], "--specialize") == 0) {
+      passes |= kPassSpecialize;
     } else if (std::strcmp(argv[i], "--list") == 0) {
       for (const App& app : apps()) std::cout << app.name << "\n";
       return 0;
     } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
-      std::cout << "usage: concert_lint [--blame] [--list] [app...]\n";
+      std::cout << "usage: concert_lint [--blame] [--json] [--deadlock] [--specialize] "
+                   "[--list] [app...]\n";
       return 0;
     } else {
       wanted.emplace_back(argv[i]);
     }
   }
+  const bool want_spec_edges = (passes & kPassSpecialize) != 0;
+  if (passes == 0) passes = kPassAll;
 
   int errors = 0;
   bool matched_any = false;
+  std::vector<AppResult> results;
   for (const App& app : apps()) {
-    if (!wanted.empty() &&
-        std::find(wanted.begin(), wanted.end(), app.name) == wanted.end()) {
-      continue;
-    }
+    const bool named = !wanted.empty() &&
+                       std::find(wanted.begin(), wanted.end(), app.name) != wanted.end();
+    if (wanted.empty() ? !app.in_default_sweep : !named) continue;
     matched_any = true;
-    errors += lint_app(app, blame);
+    AppResult r = lint_app(app, passes, want_spec_edges);
+    errors += static_cast<int>(r.errors);
+    if (json) {
+      results.push_back(std::move(r));
+    } else {
+      print_text(app, r, blame);
+    }
   }
   if (!matched_any) {
     std::cerr << "concert_lint: no app matched; try --list\n";
     return 2;
   }
+  if (json) print_json(results, errors);
   return errors > 125 ? 125 : errors;
 }
