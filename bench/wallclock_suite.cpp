@@ -8,11 +8,15 @@
 // trajectory for hot-path work — results are written to BENCH_wallclock.json
 // so successive PRs can compare like against like.
 //
-//   wallclock_suite [--smoke] [--reps N] [--json PATH]
+//   wallclock_suite [--smoke] [--reps N] [--json PATH] [--metrics] [--trace]
 //
 // --smoke shrinks every workload to a few hundred milliseconds total (the CI
 // configuration); --json chooses the output path (default
-// BENCH_wallclock.json in the working directory).
+// BENCH_wallclock.json in the working directory). --metrics runs every kernel
+// with MachineConfig::metrics on and adds per-kernel invocation-latency
+// p50/p99 to the table and the JSON. --trace runs one extra traced SOR
+// iteration and writes TRACE_sor.ctrc (binary), TRACE_sor.json (Perfetto),
+// and — with --metrics — METRICS_sor.json / METRICS_sor.prom.
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -25,6 +29,8 @@
 #include "core/invoke.hpp"
 #include "core/wrapper.hpp"
 #include "machine/threaded_machine.hpp"
+#include "machine/trace.hpp"
+#include "support/metrics.hpp"
 
 namespace concert {
 namespace {
@@ -103,6 +109,10 @@ struct WorkloadResult {
   std::uint64_t loc_cache_hits = 0;
   std::uint64_t loc_cache_misses = 0;
   std::uint64_t spec_nb_calls = 0;  ///< Call sites bound NB by edge specialization.
+  // Invocation wall latency, merged over nodes and reps (--metrics only).
+  bool have_latency = false;
+  std::uint64_t lat_p50_ns = 0;
+  std::uint64_t lat_p99_ns = 0;
 };
 
 MachineConfig wallclock_config() {
@@ -152,14 +162,25 @@ WorkloadResult measure(const std::string& name, Machine& m, int warmup, int reps
   r.mean_wall_s = sum / reps;
   r.inv_per_s = best > 0 ? static_cast<double>(r.invocations) / best : 0.0;
   r.msgs_per_s = best > 0 ? static_cast<double>(r.msgs) / best : 0.0;
+  // Latency quantiles accumulate over warmup+reps (the histogram is never
+  // reset); quantiles are shape statistics, so the mix is representative.
+  Histogram lat;
+  for (NodeId nid = 0; nid < m.node_count(); ++nid) {
+    if (const NodeMetrics* mx = m.node(nid).metrics()) lat += mx->invoke_latency_ns;
+  }
+  if (lat.count() > 0) {
+    r.have_latency = true;
+    r.lat_p50_ns = static_cast<std::uint64_t>(lat.quantile(0.5));
+    r.lat_p99_ns = static_cast<std::uint64_t>(lat.quantile(0.99));
+  }
   return r;
 }
 
-WorkloadResult run_ping(bool smoke, int reps) {
+WorkloadResult run_ping(bool smoke, int reps, const MachineConfig& cfg) {
   const std::size_t nodes = 2;
   const std::size_t tokens = 4;
   const std::int64_t hops = smoke ? 2000 : 20000;
-  ThreadedMachine m(nodes, wallclock_config());
+  ThreadedMachine m(nodes, cfg);
   register_ping(m.registry());
   m.registry().finalize();
 
@@ -302,8 +323,12 @@ void write_json(const std::string& path, const std::vector<WorkloadResult>& resu
        << ", \"msgs_per_sec\": " << static_cast<std::uint64_t>(r.msgs_per_s)
        << ", \"mean_inbox_batch\": " << r.mean_inbox_batch
        << ", \"loc_cache_hits\": " << r.loc_cache_hits
-       << ", \"loc_cache_misses\": " << r.loc_cache_misses << "}"
-       << (i + 1 < results.size() ? "," : "") << "\n";
+       << ", \"loc_cache_misses\": " << r.loc_cache_misses;
+    if (r.have_latency) {
+      os << ", \"invoke_latency_p50_ns\": " << r.lat_p50_ns
+         << ", \"invoke_latency_p99_ns\": " << r.lat_p99_ns;
+    }
+    os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   os << "  ],\n  \"spec_comparison\": [\n";
   for (std::size_t i = 0; i < spec.size(); ++i) {
@@ -316,44 +341,112 @@ void write_json(const std::string& path, const std::vector<WorkloadResult>& resu
   os << "  ]\n}\n";
 }
 
+// ---------------------------------------------------------------------------
+// Traced SOR capture (--trace): one iteration on a tracing machine, exported
+// as binary (for concert_trace) and as wall-clock Perfetto JSON. Runs after
+// the timed suite so the ring-buffer writes never pollute the numbers above.
+// ---------------------------------------------------------------------------
+
+void run_traced_sor(bool metrics) {
+  MachineConfig cfg = wallclock_config();
+  cfg.trace = true;
+  cfg.metrics = metrics;
+  sor::Params p;
+  p.n = 32;
+  p.pgrid = 2;
+  p.block = 8;
+  p.iters = 1;
+  ThreadedMachine m(p.nodes(), cfg);
+  auto ids = sor::register_sor(m.registry(), p);
+  m.registry().finalize();
+  auto world = sor::build(m, ids, p);
+  CONCERT_CHECK(sor::run(m, ids, world), "traced SOR driver failed");
+
+  const TraceDump dump = dump_trace(m, /*wall_time=*/true);
+  {
+    std::ofstream os("TRACE_sor.ctrc", std::ios::binary);
+    CONCERT_CHECK(os.good(), "cannot write TRACE_sor.ctrc");
+    write_binary_trace(dump, os);
+  }
+  {
+    std::ofstream os("TRACE_sor.json");
+    CONCERT_CHECK(os.good(), "cannot write TRACE_sor.json");
+    write_chrome_trace(dump, os);
+  }
+  std::cout << "wrote TRACE_sor.ctrc, TRACE_sor.json (" << dump.events.size() << " events, "
+            << dump.dropped << " dropped)\n";
+  if (metrics) {
+    MetricsRegistry reg;
+    export_metrics(m, reg);
+    std::ofstream js("METRICS_sor.json");
+    CONCERT_CHECK(js.good(), "cannot write METRICS_sor.json");
+    reg.write_json(js);
+    std::ofstream pm("METRICS_sor.prom");
+    CONCERT_CHECK(pm.good(), "cannot write METRICS_sor.prom");
+    reg.write_prometheus(pm);
+    std::cout << "wrote METRICS_sor.json, METRICS_sor.prom\n";
+  }
+}
+
 }  // namespace
 }  // namespace concert
 
 int main(int argc, char** argv) {
   using namespace concert;
   bool smoke = false;
+  bool metrics = false;
+  bool trace = false;
   int reps = 3;
   std::string json_path = "BENCH_wallclock.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace = true;
     } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
       reps = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else {
-      std::cerr << "usage: wallclock_suite [--smoke] [--reps N] [--json PATH]\n";
+      std::cerr << "usage: wallclock_suite [--smoke] [--reps N] [--json PATH] "
+                   "[--metrics] [--trace]\n";
       return 2;
     }
   }
   if (smoke) reps = std::min(reps, 2);
 
-  bench::print_caption(std::string("Wall-clock suite — threaded engine") +
-                       (smoke ? " (smoke)" : ""));
-  std::vector<WorkloadResult> results;
-  results.push_back(run_ping(smoke, reps));
-  results.push_back(run_sor(smoke, reps, wallclock_config()));
-  results.push_back(run_em3d(smoke, reps, wallclock_config()));
-  results.push_back(run_md(smoke, reps, wallclock_config()));
+  MachineConfig cfg = wallclock_config();
+  cfg.metrics = metrics;
 
-  TablePrinter t({"workload", "best (s)", "mean (s)", "invocations", "msgs", "inv/s", "msg/s",
-                  "avg inbox batch"});
+  bench::print_caption(std::string("Wall-clock suite — threaded engine") +
+                       (smoke ? " (smoke)" : "") + (metrics ? " [metrics]" : ""));
+  std::vector<WorkloadResult> results;
+  results.push_back(run_ping(smoke, reps, cfg));
+  results.push_back(run_sor(smoke, reps, cfg));
+  results.push_back(run_em3d(smoke, reps, cfg));
+  results.push_back(run_md(smoke, reps, cfg));
+
+  std::vector<std::string> cols = {"workload", "best (s)", "mean (s)", "invocations", "msgs",
+                                   "inv/s", "msg/s", "avg inbox batch"};
+  if (metrics) {
+    cols.push_back("lat p50 (ns)");
+    cols.push_back("lat p99 (ns)");
+  }
+  TablePrinter t(cols);
   for (const WorkloadResult& r : results) {
-    t.add_row({r.name, fmt_double(r.best_wall_s, 4), fmt_double(r.mean_wall_s, 4),
-               std::to_string(r.invocations), std::to_string(r.msgs),
-               fmt_count(static_cast<std::uint64_t>(r.inv_per_s)),
-               fmt_count(static_cast<std::uint64_t>(r.msgs_per_s)),
-               fmt_double(r.mean_inbox_batch, 2)});
+    std::vector<std::string> row = {r.name, fmt_double(r.best_wall_s, 4),
+                                    fmt_double(r.mean_wall_s, 4), std::to_string(r.invocations),
+                                    std::to_string(r.msgs),
+                                    fmt_count(static_cast<std::uint64_t>(r.inv_per_s)),
+                                    fmt_count(static_cast<std::uint64_t>(r.msgs_per_s)),
+                                    fmt_double(r.mean_inbox_batch, 2)};
+    if (metrics) {
+      row.push_back(r.have_latency ? fmt_count(r.lat_p50_ns) : "-");
+      row.push_back(r.have_latency ? fmt_count(r.lat_p99_ns) : "-");
+    }
+    t.add_row(row);
   }
   t.print(std::cout);
 
@@ -369,5 +462,7 @@ int main(int argc, char** argv) {
 
   write_json(json_path, results, spec, smoke, reps);
   std::cout << "\nwrote " << json_path << "\n";
+
+  if (trace) run_traced_sor(metrics);
   return 0;
 }

@@ -26,6 +26,8 @@ Context& ContextArena::alloc(MethodId method, std::size_t slots) {
   ctx->status = ContextStatus::Ready;  // caller decides: enqueue, Waiting, or Proxy
   ctx->reverted = false;
   ctx->holds_lock = false;
+  ctx->trace_flow = 0;
+  ctx->born_ns = 0;
   ctx->resize_slots(slots);
   ++live_;
   return *ctx;

@@ -58,6 +58,10 @@ class Context {
   bool reverted = false;         ///< True once fallen back: stay in the parallel version.
   bool holds_lock = false;       ///< This activation holds self's implicit lock.
 
+  // --- observability (concert-scope; written only when tracing/metrics on) ---
+  std::uint64_t trace_flow = 0;  ///< Causal id of the pending Suspend, re-recorded at Resume.
+  std::uint64_t born_ns = 0;     ///< Wall-clock allocation stamp for the lifetime histogram.
+
   ContextRef ref() const { return ContextRef{home, id, gen}; }
 
   // --- future/local slots ---

@@ -74,7 +74,7 @@ GlobalRef resolve_forwarding(Node& nd, GlobalRef target) {
     nd.charge(nd.costs().name_translation);
     target = nd.objects().forward_of(target);
   }
-  cache.insert(original, target);
+  if (cache.insert(original, target)) ++nd.stats.cache_evictions;
   return target;
 }
 
@@ -118,6 +118,10 @@ void invoke_with_continuation(Node& nd, MethodId method, GlobalRef target, const
   const Schema schema = de.schema;
   charge_seq_call(nd, schema);
   ++nd.stats.stack_calls;
+  nd.trace(TraceKind::StackRun, method);
+  // Inclusive wall latency of the stack execution (records on every return
+  // path below); a no-op when metrics are off.
+  ScopedInvokeLatency lat(nd.metrics(), method);
 
   Value rv[8];
   switch (schema) {

@@ -1,12 +1,15 @@
 #include "machine/machine.hpp"
 
 #include <algorithm>
+#include <utility>
 
+#include "support/metrics.hpp"
 #include "verify/conformance.hpp"
 
 namespace concert {
 
-Machine::Machine(std::size_t nodes, MachineConfig config) : config_(config) {
+Machine::Machine(std::size_t nodes, MachineConfig config)
+    : config_(config), trace_epoch_(Tracer::Clock::now()) {
   CONCERT_CHECK(nodes > 0, "machine needs at least one node");
   // The registry must know before seal() whether to materialize spec spans
   // (apps declare + finalize against this machine's registry afterwards).
@@ -14,7 +17,7 @@ Machine::Machine(std::size_t nodes, MachineConfig config) : config_(config) {
   nodes_.reserve(nodes);
   for (std::size_t i = 0; i < nodes; ++i) {
     nodes_.push_back(std::make_unique<Node>(static_cast<NodeId>(i), *this));
-    if (config_.trace) nodes_.back()->tracer.enable();
+    if (config_.trace) nodes_.back()->tracer.enable(config_.trace_capacity, trace_epoch_);
   }
   // Outboxes are sized once every node exists (a node cannot know the
   // machine size mid-construction).
@@ -72,6 +75,80 @@ std::size_t Machine::live_contexts() const {
   std::size_t live = 0;
   for (const auto& n : nodes_) live += n->arena().live_count();
   return live;
+}
+
+void export_metrics(const Machine& machine, MetricsRegistry& out) {
+  const NodeStats t = machine.total_stats();
+  out.add_counter("concert_nodes", "Nodes in the machine", machine.node_count());
+
+  // Every NodeStats counter, summed across nodes. Names follow the
+  // Prometheus convention (unit-free events get a _total suffix).
+  const std::pair<const char*, std::uint64_t> counters[] = {
+      {"concert_stack_calls_total", t.stack_calls},
+      {"concert_stack_completions_total", t.stack_completions},
+      {"concert_spec_stack_calls_total", t.spec_stack_calls},
+      {"concert_fallbacks_total", t.fallbacks},
+      {"concert_heap_invokes_total", t.heap_invokes},
+      {"concert_local_invokes_total", t.local_invokes},
+      {"concert_remote_invokes_total", t.remote_invokes},
+      {"concert_contexts_allocated_total", t.contexts_allocated},
+      {"concert_contexts_freed_total", t.contexts_freed},
+      {"concert_suspensions_total", t.suspensions},
+      {"concert_resumptions_total", t.resumptions},
+      {"concert_proxy_contexts_total", t.proxy_contexts},
+      {"concert_continuations_created_total", t.continuations_created},
+      {"concert_continuations_forwarded_total", t.continuations_forwarded},
+      {"concert_msgs_sent_total", t.msgs_sent},
+      {"concert_msgs_received_total", t.msgs_received},
+      {"concert_bytes_sent_total", t.bytes_sent},
+      {"concert_replies_sent_total", t.replies_sent},
+      {"concert_outbox_flushes_total", t.outbox_flushes},
+      {"concert_bundles_sent_total", t.bundles_sent},
+      {"concert_bundles_received_total", t.bundles_received},
+      {"concert_msgs_coalesced_total", t.msgs_coalesced},
+      {"concert_comm_instructions_total", t.comm_instructions},
+      {"concert_inbox_batches_total", t.inbox_batches},
+      {"concert_inbox_batched_msgs_total", t.inbox_batched_msgs},
+      {"concert_inbox_parks_total", t.inbox_parks},
+      {"concert_park_wakeups_total", t.park_wakeups},
+      {"concert_loc_cache_hits_total", t.loc_cache_hits},
+      {"concert_loc_cache_misses_total", t.loc_cache_misses},
+      {"concert_loc_cache_invalidations_total", t.loc_cache_invalidations},
+      {"concert_cache_evictions_total", t.cache_evictions},
+      {"concert_trace_records_dropped_total", t.msgs_dropped_trace},
+  };
+  for (const auto& [name, value] : counters) out.add_counter(name, "", value);
+
+  // Histograms: per-node recorders merged machine-wide; per-method latency
+  // labeled by method name.
+  Histogram invoke_lat, inbox_depth, ctx_life, flush_size;
+  std::vector<Histogram> per_method;
+  bool any = false;
+  for (NodeId nid = 0; nid < machine.node_count(); ++nid) {
+    const NodeMetrics* mx = machine.node(nid).metrics();
+    if (mx == nullptr) continue;
+    any = true;
+    invoke_lat += mx->invoke_latency_ns;
+    inbox_depth += mx->inbox_depth;
+    ctx_life += mx->ctx_lifetime_ns;
+    flush_size += mx->flush_size;
+    if (mx->per_method.size() > per_method.size()) per_method.resize(mx->per_method.size());
+    for (std::size_t m = 0; m < mx->per_method.size(); ++m) per_method[m] += mx->per_method[m];
+  }
+  if (!any) return;
+  out.add_histogram("concert_invoke_latency_ns", "Invocation wall latency (all methods)",
+                    invoke_lat);
+  out.add_histogram("concert_inbox_depth", "Messages drained per inbox batch", inbox_depth);
+  out.add_histogram("concert_ctx_lifetime_ns", "Context allocation-to-free wall time", ctx_life);
+  out.add_histogram("concert_flush_size", "Staged messages per outbox flush", flush_size);
+  for (std::size_t m = 0; m < per_method.size(); ++m) {
+    if (per_method[m].count() == 0) continue;
+    const std::string& name = m < machine.registry().size()
+                                  ? machine.registry().info(static_cast<MethodId>(m)).name
+                                  : "(unknown)";
+    out.add_histogram("concert_method_latency_ns", "Invocation wall latency", per_method[m],
+                      {{"method", name}});
+  }
 }
 
 }  // namespace concert

@@ -14,6 +14,8 @@
 //     genuine concurrency; wall-clock time is its metric.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -36,8 +38,19 @@ struct MachineConfig {
   CostModel costs = CostModel::workstation();
   ExecMode mode = ExecMode::Hybrid3;
   FallbackPolicy policy = FallbackPolicy::RevertToParallel;
-  /// Record scheduler-level events for chrome://tracing export.
+  /// Record scheduler-level events for chrome://tracing / Perfetto export.
   bool trace = false;
+  /// Per-node trace ring capacity, in records. When a node's ring fills, the
+  /// oldest records are overwritten and counted as dropped (surfaced in the
+  /// export metadata and NodeStats::msgs_dropped_trace) — long traced runs
+  /// keep the newest window instead of growing without bound.
+  std::size_t trace_capacity = std::size_t{1} << 20;
+  /// concert-scope latency/queue-depth histograms: per-method invocation
+  /// latency, inbox depth at drain, context lifetime, outbox flush size.
+  /// One branch per hot-path site when off; steady_clock stamps when on.
+  /// Recording is outside the cost model either way, so simulated clocks,
+  /// message counts and the paper tables are bit-identical with it on or off.
+  bool metrics = false;
   /// Ablation A2: when false, futures are modeled as separately allocated
   /// (one extra memory indirection charged on every touch and fill, as in
   /// StackThreads); when true (default, the paper's design) they live in the
@@ -122,10 +135,39 @@ class Machine {
   /// they reach quiescence.
   void verify_at_quiescence() const;
 
+  // ---- concert-scope (tracing / metrics) ----
+  /// Draws a machine-unique causal id (> 0) for trace flow events: assigned
+  /// to a message at send time and re-recorded at receive, or to a suspend
+  /// and re-recorded at resume. Relaxed atomic — any thread may draw.
+  std::uint64_t next_trace_cause() {
+    return trace_cause_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  /// Shared wall-clock origin for every node's trace/metrics timestamps
+  /// (stamped at machine construction), so cross-node flows line up.
+  Tracer::Clock::time_point trace_epoch() const { return trace_epoch_; }
+  /// Nanoseconds of steady_clock elapsed since the trace epoch.
+  std::uint64_t wall_now_ns() const {
+    return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                          Tracer::Clock::now() - trace_epoch_)
+                                          .count());
+  }
+
  protected:
   MachineConfig config_;
   MethodRegistry registry_;
   std::vector<std::unique_ptr<Node>> nodes_;
+
+ private:
+  Tracer::Clock::time_point trace_epoch_{};
+  std::atomic<std::uint64_t> trace_cause_{0};
 };
+
+class MetricsRegistry;
+
+/// Fills `out` with the machine's counters and histograms: every NodeStats
+/// field summed across nodes, plus (when MachineConfig::metrics was on) the
+/// merged invocation-latency, per-method latency, inbox-depth,
+/// context-lifetime and flush-size histograms. Call after quiescence.
+void export_metrics(const Machine& machine, MetricsRegistry& out);
 
 }  // namespace concert

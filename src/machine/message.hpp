@@ -42,6 +42,10 @@ struct Message {
   // --- simulator bookkeeping (not "on the wire") ---
   std::uint64_t deliver_at = 0;  ///< Receiver-clock time the message becomes visible.
   std::uint64_t seq = 0;         ///< Global send order; FIFO tie-break.
+  /// Trace causal id (concert-scope): drawn at send when tracing is enabled,
+  /// re-recorded by the receiver so MsgSend/MsgRecv export as one Perfetto
+  /// flow. 0 when tracing is off. Outside the wire-size accounting.
+  std::uint64_t cause = 0;
 
   bool is_bundle() const { return kind == MsgKind::Bundle; }
   /// True if this message (or any bundled element) is an Invoke — bundles

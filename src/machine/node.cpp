@@ -15,6 +15,7 @@ Node::Node(NodeId id, Machine& machine)
       arena_(id),
       objects_(id) {
   verifier.set_enabled(machine.config().verify);
+  if (machine.config().metrics) metrics_ = std::make_unique<NodeMetrics>();
 }
 
 MethodRegistry& Node::registry() { return machine_.registry(); }
@@ -41,7 +42,9 @@ Context& Node::alloc_context(MethodId m) {
 Context& Node::alloc_context_raw(MethodId m, std::size_t slots) {
   charge(costs().context_alloc);
   ++stats.contexts_allocated;
-  return arena_.alloc(m, slots);
+  Context& ctx = arena_.alloc(m, slots);
+  if (metrics_) ctx.born_ns = machine_.wall_now_ns();
+  return ctx;
 }
 
 void Node::free_context(Context& ctx) {
@@ -50,6 +53,10 @@ void Node::free_context(Context& ctx) {
   CONCERT_CHECK(!ctx.holds_lock, "freeing context " << ctx.ref() << " still holding a lock");
   charge(costs().context_free);
   ++stats.contexts_freed;
+  if (metrics_ && ctx.born_ns != 0) {
+    const std::uint64_t now = machine_.wall_now_ns();
+    metrics_->ctx_lifetime_ns.record(now > ctx.born_ns ? now - ctx.born_ns : 0);
+  }
   arena_.free(ctx);
 }
 
@@ -73,13 +80,19 @@ void Node::suspend(Context& ctx) {
     ctx.status = ContextStatus::Waiting;
     ++stats.suspensions;
     verifier.record_block(ctx.method);
-    tracer.record(clock_, TraceKind::Suspend, ctx.method);
+    if (tracer.enabled()) {
+      // A fresh flow id per suspension: the matching Resume re-records it,
+      // exporting the pair as one Perfetto flow even if the context
+      // suspends again later.
+      ctx.trace_flow = machine_.next_trace_cause();
+      trace(TraceKind::Suspend, ctx.method, ctx.trace_flow);
+    }
   }
 }
 
 void Node::resume(Context& ctx) {
   ++stats.resumptions;
-  tracer.record(clock_, TraceKind::Resume, ctx.method);
+  trace(TraceKind::Resume, ctx.method, ctx.trace_flow);
   if (fallback_policy() == FallbackPolicy::AlwaysRetrySequential && ctx.reverted) {
     // Ablation A1: this policy re-runs the method on the stack at every
     // resumption; if it blocks again it pays the unwinding again. Charged as
@@ -136,11 +149,15 @@ bool Node::run_one() {
   ctx.status = ContextStatus::Running;
   charge(costs().dispatch);
   const MethodId method = ctx.method;
-  tracer.record(clock_, TraceKind::DispatchBegin, method);
+  trace(TraceKind::DispatchBegin, method);
   const ParStep par = dispatch(method).par;
   CONCERT_CHECK(par != nullptr, "context " << ctx.ref() << " has no parallel version");
-  par(*this, ctx);
-  tracer.record(clock_, TraceKind::DispatchEnd, method);
+  {
+    // The step may free ctx; the latency probe keys on the saved method id.
+    ScopedInvokeLatency lat(metrics_.get(), method);
+    par(*this, ctx);
+  }
+  trace(TraceKind::DispatchEnd, method);
   return true;
 }
 
@@ -177,6 +194,9 @@ bool Node::deadlocked_on_ancestor(const Context& ctx) {
 void Node::send(Message msg) {
   msg.src = id_;
   const bool is_reply = msg.kind == MsgKind::Reply;
+  // Causal id for the send->recv flow: drawn once, travels with the message
+  // (and through any bundle), re-recorded by the receiver.
+  if (tracer.enabled() && msg.cause == 0) msg.cause = machine_.next_trace_cause();
   if (!comms_policy().buffered()) {
     // Immediate: fixed software overhead plus processor-driven injection of
     // each packet (on the CM-5 every extra packet costs nearly another
@@ -184,7 +204,7 @@ void Node::send(Message msg) {
     const std::uint64_t c = costs().send_cost(is_reply, msg.size_bytes());
     charge(c);
     stats.comm_instructions += c;
-    tracer.record(clock_, TraceKind::MsgSend, msg.method);
+    trace(TraceKind::MsgSend, msg.method, msg.cause);
     ++stats.msgs_sent;
     if (is_reply) ++stats.replies_sent;
     stats.bytes_sent += msg.size_bytes();
@@ -196,7 +216,7 @@ void Node::send(Message msg) {
   // quiescence detection stays sound in both engines.
   charge(costs().outbox_stage);
   stats.comm_instructions += costs().outbox_stage;
-  tracer.record(clock_, TraceKind::MsgSend, msg.method);
+  trace(TraceKind::MsgSend, msg.method, msg.cause);
   ++stats.msgs_sent;
   if (is_reply) ++stats.replies_sent;
   const NodeId dst = msg.dst;
@@ -225,11 +245,12 @@ void Node::flush_outbox(NodeId dst) {
   stats.bytes_sent += out.size_bytes();
   ++stats.outbox_flushes;
   stats.record_bundle(n);
+  if (metrics_) metrics_->flush_size.record(n);
   if (n > 1) {
     ++stats.bundles_sent;
     stats.msgs_coalesced += n;
   }
-  tracer.record(clock_, TraceKind::OutboxFlush, kInvalidMethod);
+  trace(TraceKind::OutboxFlush, kInvalidMethod);
   machine_.route(*this, std::move(out));
   // Retire the staged elements' outstanding-work credits only after the
   // bundle's own credit exists (Dijkstra counting stays non-zero throughout).
@@ -255,7 +276,7 @@ void Node::deliver(Message& msg) {
     ++stats.bundles_received;
     for (Message& e : msg.bundle) {
       ++stats.msgs_received;
-      tracer.record(clock_, TraceKind::MsgRecv, e.method);
+      trace(TraceKind::MsgRecv, e.method, e.cause);
       deliver_element(e);
     }
     return;
@@ -265,7 +286,7 @@ void Node::deliver(Message& msg) {
   charge(c);
   stats.comm_instructions += c;
   ++stats.msgs_received;
-  tracer.record(clock_, TraceKind::MsgRecv, msg.method);
+  trace(TraceKind::MsgRecv, msg.method, msg.cause);
   deliver_element(msg);
 }
 
@@ -303,7 +324,10 @@ bool Node::inbox_empty() const { return inbox_.consumer_empty(); }
 
 std::size_t Node::drain_inbox(std::vector<Message>& out, std::size_t max) {
   const std::size_t n = inbox_.drain(std::back_inserter(out), max);
-  if (n > 0) stats.record_inbox_batch(n);
+  if (n > 0) {
+    stats.record_inbox_batch(n);
+    if (metrics_) metrics_->inbox_depth.record(n);
+  }
   return n;
 }
 
@@ -322,6 +346,10 @@ void Node::park_inbox(std::chrono::microseconds timeout) {
     if (inbox_.consumer_empty()) {
       ++stats.inbox_parks;
       park_cv_.wait_for(lk, timeout);
+      // Consumer-side wakeup accounting (producers must not touch another
+      // node's stats): a park that ends with work waiting was a productive
+      // wakeup, whether the producer's notify or the timeout ended it.
+      if (!inbox_.consumer_empty()) ++stats.park_wakeups;
     }
   }
   parked_.store(false, std::memory_order_relaxed);

@@ -14,6 +14,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -29,6 +30,7 @@
 #include "machine/trace.hpp"
 #include "objects/location_cache.hpp"
 #include "objects/object_space.hpp"
+#include "support/histogram.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "verify/recorder.hpp"
@@ -36,6 +38,49 @@
 namespace concert {
 
 class Machine;
+
+/// Per-node histogram recorders (concert-scope), allocated only when
+/// MachineConfig::metrics is on — the disabled cost at every recording site
+/// is a single null check. Touched only by the owning node's thread; merged
+/// across nodes at export time (export_metrics).
+struct NodeMetrics {
+  Histogram invoke_latency_ns;  ///< Every timed invocation (dispatch steps + stack runs).
+  Histogram inbox_depth;        ///< Messages drained per non-empty inbox batch.
+  Histogram ctx_lifetime_ns;    ///< Context allocation -> free wall time.
+  Histogram flush_size;         ///< Staged messages per outbox flush.
+  /// Per-method invocation latency, MethodId-indexed (grown on first use).
+  Histogram& method_latency(MethodId m) {
+    if (m >= per_method.size()) per_method.resize(m + 1);
+    return per_method[m];
+  }
+  std::vector<Histogram> per_method;
+};
+
+/// RAII invocation-latency probe: stamps steady_clock on entry and records
+/// the inclusive wall time under the method's histogram on scope exit. A
+/// null `metrics` makes both ends a single branch.
+class ScopedInvokeLatency {
+ public:
+  ScopedInvokeLatency(NodeMetrics* metrics, MethodId method) : mx_(metrics), method_(method) {
+    if (mx_ != nullptr) t0_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedInvokeLatency() {
+    if (mx_ == nullptr) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - t0_)
+                        .count();
+    const std::uint64_t v = static_cast<std::uint64_t>(ns);
+    mx_->invoke_latency_ns.record(v);
+    mx_->method_latency(method_).record(v);
+  }
+  ScopedInvokeLatency(const ScopedInvokeLatency&) = delete;
+  ScopedInvokeLatency& operator=(const ScopedInvokeLatency&) = delete;
+
+ private:
+  NodeMetrics* mx_;
+  MethodId method_;
+  std::chrono::steady_clock::time_point t0_{};
+};
 
 class Node {
  public:
@@ -181,6 +226,19 @@ class Node {
   BlockInjector& injector() { return injector_; }
   const BlockInjector& injector() const { return injector_; }
 
+  // ---- observability (concert-scope) ----
+  /// Records one trace event when tracing is on (one branch when off),
+  /// mirroring ring overwrites into stats.msgs_dropped_trace. `cause` links
+  /// flow pairs (send/recv, suspend/resume); 0 means none.
+  void trace(TraceKind kind, MethodId method, std::uint64_t cause = 0) {
+    if (tracer.enabled() && tracer.record(clock_, kind, method, cause)) {
+      ++stats.msgs_dropped_trace;
+    }
+  }
+  /// Histogram recorders, or nullptr when MachineConfig::metrics is off.
+  NodeMetrics* metrics() { return metrics_.get(); }
+  const NodeMetrics* metrics() const { return metrics_.get(); }
+
   NodeStats stats;
   SplitMix64 rng;
   Tracer tracer;
@@ -222,6 +280,7 @@ class Node {
   const MethodId* spec_ = nullptr;
   Outbox outbox_;  ///< Staged outgoing messages; touched only by this node's thread.
   std::vector<Message> flush_scratch_;  ///< Reused drain buffer (capacity cycles).
+  std::unique_ptr<NodeMetrics> metrics_;  ///< Null unless MachineConfig::metrics.
   ObjectSpace objects_;
   LocationCache loc_cache_;
   BlockInjector injector_;

@@ -1,5 +1,7 @@
 #include "machine/trace.hpp"
 
+#include <cstring>
+#include <istream>
 #include <ostream>
 
 #include "machine/machine.hpp"
@@ -20,51 +22,236 @@ const char* trace_kind_name(TraceKind k) {
   return "?";
 }
 
-void write_chrome_trace(const Machine& machine, std::ostream& os) {
-  const double us_per_insn = 1e6 / machine.costs().clock_hz;
-  os << "[";
+bool trace_kind_from_name(const std::string& name, TraceKind& out) {
+  for (std::size_t i = 0; i < kTraceKindCount; ++i) {
+    const TraceKind k = static_cast<TraceKind>(i);
+    if (name == trace_kind_name(k)) {
+      out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<TraceRecord> Tracer::snapshot() const {
+  std::vector<TraceRecord> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;  // never wrapped: already oldest -> newest
+  } else {
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(head_), ring_.end());
+    out.insert(out.end(), ring_.begin(), ring_.begin() + static_cast<std::ptrdiff_t>(head_));
+  }
+  return out;
+}
+
+TraceDump dump_trace(const Machine& machine, bool wall_time) {
+  TraceDump d;
+  d.node_count = machine.node_count();
+  d.wall_time = wall_time;
+  d.us_per_insn = 1e6 / machine.costs().clock_hz;
+  d.method_names.reserve(machine.registry().size());
+  for (MethodId m = 0; m < machine.registry().size(); ++m) {
+    d.method_names.push_back(machine.registry().info(m).name);
+  }
+  for (NodeId nid = 0; nid < machine.node_count(); ++nid) {
+    const Tracer& t = machine.node(nid).tracer;
+    d.dropped += t.dropped();
+    for (const TraceRecord& r : t.snapshot()) d.events.push_back(TraceEvent{nid, r});
+  }
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Binary dump: "CTRACE01" magic, header, method-name table, flat event list.
+// Host-endian fixed-width fields — the dump is a same-machine artifact (CI
+// produces and consumes it in one job), not an interchange format.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'T', 'R', 'A', 'C', 'E', '0', '1'};
+
+template <typename T>
+void put(std::ostream& os, T v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+template <typename T>
+bool get(std::istream& is, T& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  return is.good();
+}
+
+bool fail(std::string* err, const char* what) {
+  if (err != nullptr) *err = what;
+  return false;
+}
+
+}  // namespace
+
+void write_binary_trace(const TraceDump& dump, std::ostream& os) {
+  os.write(kMagic, sizeof kMagic);
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(dump.node_count));
+  put<std::uint64_t>(os, dump.dropped);
+  put<std::uint8_t>(os, dump.wall_time ? 1 : 0);
+  put<double>(os, dump.us_per_insn);
+  put<std::uint32_t>(os, static_cast<std::uint32_t>(dump.method_names.size()));
+  for (const std::string& name : dump.method_names) {
+    put<std::uint32_t>(os, static_cast<std::uint32_t>(name.size()));
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+  }
+  put<std::uint64_t>(os, dump.events.size());
+  for (const TraceEvent& e : dump.events) {
+    put<std::uint32_t>(os, e.node);
+    put<std::uint32_t>(os, e.rec.method);
+    put<std::uint8_t>(os, static_cast<std::uint8_t>(e.rec.kind));
+    put<std::uint64_t>(os, e.rec.clock);
+    put<std::uint64_t>(os, e.rec.wall_ns);
+    put<std::uint64_t>(os, e.rec.cause);
+  }
+}
+
+bool read_binary_trace(std::istream& is, TraceDump& out, std::string* err) {
+  char magic[8];
+  is.read(magic, sizeof magic);
+  if (!is.good() || std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    return fail(err, "not a concert trace (bad magic; expected CTRACE01)");
+  }
+  std::uint32_t nodes = 0, n_methods = 0;
+  std::uint8_t wall = 0;
+  if (!get(is, nodes) || !get(is, out.dropped) || !get(is, wall) || !get(is, out.us_per_insn)) {
+    return fail(err, "truncated header");
+  }
+  out.node_count = nodes;
+  out.wall_time = wall != 0;
+  if (!get(is, n_methods)) return fail(err, "truncated method table");
+  out.method_names.clear();
+  out.method_names.reserve(n_methods);
+  for (std::uint32_t i = 0; i < n_methods; ++i) {
+    std::uint32_t len = 0;
+    if (!get(is, len) || len > (1u << 20)) return fail(err, "bad method-name length");
+    std::string name(len, '\0');
+    is.read(name.data(), len);
+    if (!is.good()) return fail(err, "truncated method name");
+    out.method_names.push_back(std::move(name));
+  }
+  std::uint64_t n_events = 0;
+  if (!get(is, n_events)) return fail(err, "truncated event count");
+  out.events.clear();
+  out.events.reserve(static_cast<std::size_t>(n_events));
+  for (std::uint64_t i = 0; i < n_events; ++i) {
+    TraceEvent e;
+    std::uint32_t node = 0, method = 0;
+    std::uint8_t kind = 0;
+    if (!get(is, node) || !get(is, method) || !get(is, kind) || !get(is, e.rec.clock) ||
+        !get(is, e.rec.wall_ns) || !get(is, e.rec.cause)) {
+      return fail(err, "truncated event list");
+    }
+    if (kind >= kTraceKindCount) return fail(err, "bad event kind");
+    e.node = static_cast<NodeId>(node);
+    e.rec.method = method;
+    e.rec.kind = static_cast<TraceKind>(kind);
+    out.events.push_back(e);
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event JSON with Perfetto flow events.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+const char* method_name_of(const TraceDump& dump, MethodId m) {
+  if (m == kInvalidMethod || m >= dump.method_names.size()) return "(root)";
+  return dump.method_names[m].c_str();
+}
+
+double display_ts(const TraceDump& dump, const TraceRecord& r) {
+  return dump.wall_time ? static_cast<double>(r.wall_ns) / 1e3
+                        : static_cast<double>(r.clock) * dump.us_per_insn;
+}
+
+}  // namespace
+
+void write_chrome_trace(const TraceDump& dump, std::ostream& os) {
+  os << "{\"traceEvents\": [";
   bool first = true;
-  auto emit = [&](NodeId node, const char* ph, const char* name, double ts, double dur) {
+  auto emit_head = [&](NodeId node, const char* ph, const char* name, double ts) {
     if (!first) os << ",";
     first = false;
     os << "\n{\"pid\":0,\"tid\":" << node << ",\"ph\":\"" << ph << "\",\"name\":\"" << name
        << "\",\"ts\":" << ts;
-    if (dur >= 0) os << ",\"dur\":" << dur;
-    if (ph[0] == 'i') os << ",\"s\":\"t\"";
+  };
+
+  // Flow events: a start ("s") at the cause's origin, a finish ("f", bound to
+  // the enclosing slice) at its destination. `cat` + `name` + `id` tie the
+  // pair together in Perfetto.
+  auto emit_flow = [&](NodeId node, bool start, const char* cat, double ts, std::uint64_t id) {
+    emit_head(node, start ? "s" : "f", cat, ts);
+    os << ",\"cat\":\"" << cat << "\",\"id\":" << id;
+    if (!start) os << ",\"bp\":\"e\"";
     os << "}";
   };
 
-  for (NodeId nid = 0; nid < machine.node_count(); ++nid) {
-    const auto& recs = machine.node(nid).tracer.records();
-    for (std::size_t i = 0; i < recs.size(); ++i) {
-      const TraceRecord& r = recs[i];
-      const char* mname = r.method == kInvalidMethod
-                              ? "(root)"
-                              : machine.registry().info(r.method).name.c_str();
-      const double ts = static_cast<double>(r.clock) * us_per_insn;
-      switch (r.kind) {
-        case TraceKind::DispatchBegin: {
-          // Pair with the matching DispatchEnd (same method, dispatches
-          // cannot nest within one node).
-          double dur = 0;
-          for (std::size_t j = i + 1; j < recs.size(); ++j) {
-            if (recs[j].kind == TraceKind::DispatchEnd && recs[j].method == r.method) {
-              dur = static_cast<double>(recs[j].clock) * us_per_insn - ts;
-              break;
-            }
-          }
-          emit(nid, "X", mname, ts, dur);
-          break;
+  // Dispatches cannot nest within one node (run-to-completion steps), so a
+  // linear scan with one open begin per node pairs begin/end; a ring that
+  // dropped a begin leaves an unmatched end (skipped), a dropped end leaves
+  // a zero-duration begin.
+  std::vector<double> open_ts(dump.node_count, -1.0);
+
+  for (const TraceEvent& e : dump.events) {
+    const TraceRecord& r = e.rec;
+    const double ts = display_ts(dump, r);
+    switch (r.kind) {
+      case TraceKind::DispatchBegin:
+        open_ts[e.node] = ts;
+        break;
+      case TraceKind::DispatchEnd: {
+        const double begin = open_ts[e.node];
+        if (begin >= 0) {
+          emit_head(e.node, "X", method_name_of(dump, r.method), begin);
+          os << ",\"dur\":" << (ts - begin) << "}";
+          open_ts[e.node] = -1.0;
         }
-        case TraceKind::DispatchEnd:
-          break;  // consumed by its begin
-        default:
-          emit(nid, "i", trace_kind_name(r.kind), ts, -1);
-          break;
+        break;
       }
+      case TraceKind::MsgSend:
+      case TraceKind::Suspend: {
+        emit_head(e.node, "i", trace_kind_name(r.kind), ts);
+        os << ",\"s\":\"t\",\"args\":{\"method\":\"" << method_name_of(dump, r.method)
+           << "\",\"cause\":" << r.cause << "}}";
+        if (r.cause != 0) {
+          emit_flow(e.node, true, r.kind == TraceKind::MsgSend ? "msg" : "ctx", ts, r.cause);
+        }
+        break;
+      }
+      case TraceKind::MsgRecv:
+      case TraceKind::Resume: {
+        if (r.cause != 0) {
+          emit_flow(e.node, false, r.kind == TraceKind::MsgRecv ? "msg" : "ctx", ts, r.cause);
+        }
+        emit_head(e.node, "i", trace_kind_name(r.kind), ts);
+        os << ",\"s\":\"t\",\"args\":{\"method\":\"" << method_name_of(dump, r.method)
+           << "\",\"cause\":" << r.cause << "}}";
+        break;
+      }
+      case TraceKind::StackRun:
+      case TraceKind::OutboxFlush:
+        emit_head(e.node, "i", trace_kind_name(r.kind), ts);
+        os << ",\"s\":\"t\",\"args\":{\"method\":\"" << method_name_of(dump, r.method) << "\"}}";
+        break;
     }
   }
-  os << "\n]\n";
+  os << "\n],\n\"metadata\": {\"tool\":\"concert-scope\",\"nodes\":" << dump.node_count
+     << ",\"dropped_events\":" << dump.dropped << ",\"time_domain\":\""
+     << (dump.wall_time ? "wall" : "sim") << "\",\"us_per_insn\":" << dump.us_per_insn
+     << "}\n}\n";
+}
+
+void write_chrome_trace(const Machine& machine, std::ostream& os) {
+  write_chrome_trace(dump_trace(machine, /*wall_time=*/false), os);
 }
 
 }  // namespace concert

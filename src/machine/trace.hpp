@@ -1,16 +1,37 @@
-// Execution tracing: per-node event streams in simulated time, exportable to
-// the Chrome trace-event format (chrome://tracing, Perfetto).
+// Execution tracing (concert-scope): per-node event streams with causal
+// cross-node flow ids, exportable to the Chrome trace-event format
+// (chrome://tracing, Perfetto) and to a compact binary dump consumed by the
+// `concert_trace` CLI.
 //
-// Tracing is off by default (MachineConfig::trace) and costs nothing when
-// disabled. When enabled, the runtime records scheduler-level events —
-// message send/receive, context dispatch begin/end, suspension, resumption —
-// timestamped with the node's simulated clock, so the resulting timeline
-// shows exactly how the hybrid model interleaved stack execution, heap
-// contexts and communication across the machine.
+// Tracing is off by default (MachineConfig::trace) and costs one branch per
+// site when disabled. When enabled, the runtime records scheduler-level
+// events — message send/receive, context dispatch begin/end, stack runs,
+// suspension, resumption, outbox flushes — each stamped with BOTH the node's
+// simulated clock (instruction count) and a wall-clock steady_clock offset
+// from the machine's epoch, so the same recorder serves the deterministic
+// simulator (simulated-time timelines) and the threaded engine (real-time
+// timelines).
+//
+// Causality: every MsgSend draws a machine-unique causal id that travels in
+// the message and is re-recorded by the receiver's MsgRecv; every Suspend
+// draws one that the matching Resume re-records. The Chrome export turns
+// these pairs into Perfetto *flow events*, making a remote invocation's
+// critical path (send -> recv -> dispatch -> reply -> resume) visible
+// end-to-end across nodes.
+//
+// The recorder is a bounded ring: the newest MachineConfig::trace_capacity
+// records are kept per node, older ones are overwritten and counted as
+// dropped (surfaced in the export metadata and NodeStats::msgs_dropped_trace)
+// instead of growing without bound on long runs. Each Tracer is written only
+// by its owning node's thread and read after quiescence, so appends are
+// plain stores — safe in the threaded engine without atomics.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "core/ids.hpp"
@@ -28,37 +49,115 @@ enum class TraceKind : std::uint8_t {
   OutboxFlush,  ///< an outbox destination drained into the network
 };
 
+inline constexpr std::size_t kTraceKindCount = 8;
+
 const char* trace_kind_name(TraceKind k);
+/// Inverse of trace_kind_name; returns false when `name` matches no kind.
+bool trace_kind_from_name(const std::string& name, TraceKind& out);
 
 struct TraceRecord {
-  std::uint64_t clock;  ///< node-local simulated instruction count
+  std::uint64_t clock;    ///< node-local simulated instruction count
+  std::uint64_t wall_ns;  ///< steady_clock ns since the machine's trace epoch
+  std::uint64_t cause;    ///< causal/flow id pairing send-recv and suspend-resume; 0 = none
+  MethodId method;        ///< kInvalidMethod where not applicable
   TraceKind kind;
-  MethodId method;  ///< kInvalidMethod where not applicable
 };
 
-/// Per-node recorder. Appending is O(1); memory is the only cost.
+/// Per-node bounded ring recorder. Appending is O(1) with no allocation once
+/// the ring is warm; when full, the oldest record is overwritten and counted
+/// as dropped. Single-writer (the owning node's thread), read at quiescence.
 class Tracer {
  public:
-  void enable() { enabled_ = true; }
-  bool enabled() const { return enabled_; }
+  using Clock = std::chrono::steady_clock;
 
-  void record(std::uint64_t clock, TraceKind kind, MethodId method) {
-    if (enabled_) records_.push_back(TraceRecord{clock, kind, method});
+  void enable(std::size_t capacity, Clock::time_point epoch) {
+    enabled_ = capacity > 0;
+    capacity_ = capacity;
+    epoch_ = epoch;
+    ring_.clear();
+    ring_.reserve(std::min<std::size_t>(capacity, 4096));  // grow on demand up to capacity
+    head_ = 0;
+    dropped_ = 0;
+  }
+  bool enabled() const { return enabled_; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Appends a record (caller must check enabled()). Returns true when the
+  /// ring was full and the oldest record was overwritten.
+  bool record(std::uint64_t clock, TraceKind kind, MethodId method, std::uint64_t cause = 0) {
+    const std::uint64_t wall = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - epoch_).count());
+    if (ring_.size() < capacity_) {
+      ring_.push_back(TraceRecord{clock, wall, cause, method, kind});
+      return false;
+    }
+    ring_[head_] = TraceRecord{clock, wall, cause, method, kind};
+    head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
+    ++dropped_;
+    return true;
   }
 
-  const std::vector<TraceRecord>& records() const { return records_; }
-  void clear() { records_.clear(); }
+  std::size_t size() const { return ring_.size(); }
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// The retained records, oldest -> newest (unwraps the ring).
+  std::vector<TraceRecord> snapshot() const;
+
+  void clear() {
+    ring_.clear();
+    head_ = 0;
+    dropped_ = 0;
+  }
 
  private:
   bool enabled_ = false;
-  std::vector<TraceRecord> records_;
+  std::size_t capacity_ = 0;
+  std::size_t head_ = 0;  ///< next overwrite position once the ring is full
+  std::uint64_t dropped_ = 0;
+  Clock::time_point epoch_{};
+  std::vector<TraceRecord> ring_;
 };
 
 class Machine;
 
-/// Writes all nodes' traces as a Chrome trace-event JSON document. Dispatch
-/// begin/end pairs become duration events; everything else becomes instants.
-/// Timestamps are simulated microseconds (clock / MHz).
+/// One record tagged with its node — the flattened, export-ready form.
+struct TraceEvent {
+  NodeId node;
+  TraceRecord rec;
+};
+
+/// A machine's complete trace, detached from the live runtime: what the
+/// binary dump stores and every converter/summarizer consumes. Events are
+/// ordered (node ascending, per-node record order).
+struct TraceDump {
+  std::size_t node_count = 0;
+  std::uint64_t dropped = 0;   ///< total records overwritten across all rings
+  bool wall_time = false;      ///< which timestamp domain is meaningful for display
+  double us_per_insn = 1.0;    ///< sim-time conversion (1e6 / clock_hz)
+  std::vector<std::string> method_names;  ///< MethodId-indexed
+  std::vector<TraceEvent> events;
+};
+
+/// Snapshots every node's tracer plus the registry's method names.
+/// `wall_time` selects the display domain for subsequent Chrome export
+/// (true for the threaded engine, false for the simulator).
+TraceDump dump_trace(const Machine& machine, bool wall_time = false);
+
+/// Compact binary dump (magic "CTRACE01"), the `concert_trace` CLI's input.
+void write_binary_trace(const TraceDump& dump, std::ostream& os);
+/// Reads a binary dump; returns false (with *err set when non-null) on a
+/// malformed or truncated stream.
+bool read_binary_trace(std::istream& is, TraceDump& out, std::string* err = nullptr);
+
+/// Chrome trace-event JSON (object form): {"traceEvents": [...],
+/// "metadata": {...}}. Dispatch begin/end pairs become duration events,
+/// send/recv and suspend/resume pairs become Perfetto flow events bound to
+/// their causal ids, everything else becomes instants. Timestamps come from
+/// the dump's display domain (wall ns -> us, or sim instructions -> us).
+/// The metadata block surfaces the dropped-record count.
+void write_chrome_trace(const TraceDump& dump, std::ostream& os);
+
+/// Convenience overload: dump + export in simulated time.
 void write_chrome_trace(const Machine& machine, std::ostream& os);
 
 }  // namespace concert

@@ -37,12 +37,16 @@ class LocationCache {
     return (e.valid && e.key == key) ? &e.home : nullptr;
   }
 
-  /// Installs (or overwrites the colliding slot with) key -> home.
-  void insert(const GlobalRef& key, const GlobalRef& home) {
+  /// Installs (or overwrites the colliding slot with) key -> home. Returns
+  /// true when a live entry for a *different* key was evicted — refreshing a
+  /// key's own slot is not an eviction.
+  bool insert(const GlobalRef& key, const GlobalRef& home) {
     Entry& e = entries_[slot_of(key)];
+    const bool evicted = e.valid && !(e.key == key);
     e.key = key;
     e.home = home;
     e.valid = true;
+    return evicted;
   }
 
   /// Drops every entry that names `ref` as either key or cached home; called

@@ -1,0 +1,106 @@
+// Log2-bucket histogram for latency / queue-depth metrics (concert-scope).
+//
+// Values land in the bucket indexed by their bit width: bucket 0 holds the
+// value 0, bucket b >= 1 holds [2^(b-1), 2^b - 1]. 65 buckets therefore
+// cover the full uint64 range with one increment per record and no dynamic
+// allocation, and two histograms merge bucket-wise — per-node recorders are
+// summed into a machine-wide view at export time. Quantiles interpolate
+// linearly inside a bucket (clamped to the observed min/max), which is
+// accurate to a factor of 2 worst case and far better in practice once a
+// bucket is interior.
+//
+// Owned and touched by one thread (a node's); merging/reading happens after
+// quiescence. No synchronization.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+namespace concert {
+
+class Histogram {
+ public:
+  /// bit_width(uint64) ranges over [0, 64].
+  static constexpr std::size_t kBuckets = 65;
+
+  /// Bucket index for `v`: its bit width.
+  static std::size_t bucket_of(std::uint64_t v) {
+    return static_cast<std::size_t>(std::bit_width(v));
+  }
+  /// Smallest value bucket `b` can hold.
+  static std::uint64_t bucket_lo(std::size_t b) {
+    return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+  }
+  /// Largest value bucket `b` can hold.
+  static std::uint64_t bucket_hi(std::size_t b) {
+    if (b == 0) return 0;
+    if (b >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << b) - 1;
+  }
+
+  void record(std::uint64_t v) {
+    ++buckets_[bucket_of(v)];
+    sum_ += v;
+    if (count_ == 0) {
+      min_ = max_ = v;
+    } else {
+      min_ = std::min(min_, v);
+      max_ = std::max(max_, v);
+    }
+    ++count_;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return count_ ? max_ : 0; }
+  double mean() const {
+    return count_ ? static_cast<double>(sum_) / static_cast<double>(count_) : 0.0;
+  }
+  std::uint64_t bucket(std::size_t b) const { return buckets_[b]; }
+
+  /// Quantile estimate for q in [0, 1]: walk the cumulative counts to the
+  /// bucket holding rank q*count, interpolate linearly within it. Returns 0
+  /// on an empty histogram.
+  double quantile(double q) const {
+    if (count_ == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const double target = q * static_cast<double>(count_);
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      if (buckets_[b] == 0) continue;
+      const std::uint64_t next = cum + buckets_[b];
+      if (static_cast<double>(next) >= target) {
+        const double frac =
+            (target - static_cast<double>(cum)) / static_cast<double>(buckets_[b]);
+        const double lo = static_cast<double>(std::max(bucket_lo(b), min()));
+        const double hi = static_cast<double>(std::min(bucket_hi(b), max()));
+        return lo + frac * (hi - lo);
+      }
+      cum = next;
+    }
+    return static_cast<double>(max());
+  }
+
+  Histogram& operator+=(const Histogram& o) {
+    for (std::size_t b = 0; b < kBuckets; ++b) buckets_[b] += o.buckets_[b];
+    sum_ += o.sum_;
+    if (o.count_ > 0) {
+      min_ = count_ ? std::min(min_, o.min_) : o.min_;
+      max_ = count_ ? std::max(max_, o.max_) : o.max_;
+    }
+    count_ += o.count_;
+    return *this;
+  }
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace concert

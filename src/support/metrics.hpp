@@ -1,0 +1,70 @@
+// MetricsRegistry: a snapshot/export container for counters and histograms
+// (concert-scope).
+//
+// The runtime itself never holds a MetricsRegistry — nodes keep raw
+// NodeStats counters and Histogram recorders with zero indirection. At
+// export time (after quiescence) a registry is filled from those sources
+// (see export_metrics in machine/machine.hpp) and written out as JSON or as
+// Prometheus text exposition, so benches, the CI artifacts and any scraping
+// sidecar consume one stable format instead of reaching into runtime
+// structs.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/histogram.hpp"
+
+namespace concert {
+
+/// Ordered label set, e.g. {{"method", "sor_step"}, {"node", "all"}}.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+class MetricsRegistry {
+ public:
+  struct Counter {
+    std::string name;
+    std::string help;
+    MetricLabels labels;
+    std::uint64_t value = 0;
+  };
+  struct Hist {
+    std::string name;
+    std::string help;
+    MetricLabels labels;
+    Histogram hist;
+  };
+
+  void add_counter(std::string name, std::string help, std::uint64_t value,
+                   MetricLabels labels = {});
+  void add_histogram(std::string name, std::string help, const Histogram& h,
+                     MetricLabels labels = {});
+
+  const std::vector<Counter>& counters() const { return counters_; }
+  const std::vector<Hist>& histograms() const { return hists_; }
+  /// First counter with `name`, or nullptr.
+  const Counter* find_counter(const std::string& name) const;
+  /// First histogram with `name` (and `labels`, when non-empty), or nullptr.
+  const Hist* find_histogram(const std::string& name, const MetricLabels& labels = {}) const;
+
+  void clear();
+
+  /// JSON document: {"counters": [...], "histograms": [...]}. Histograms
+  /// carry count/sum/min/max/mean, p50/p90/p99 estimates and the non-empty
+  /// log2 buckets as [upper_bound, count] pairs.
+  void write_json(std::ostream& os) const;
+
+  /// Prometheus text exposition (v0.0.4): counters as `<name> value`,
+  /// histograms as cumulative `_bucket{le="..."}` series plus `_sum` and
+  /// `_count`. Only non-empty buckets (plus le="+Inf") are emitted.
+  void write_prometheus(std::ostream& os) const;
+
+ private:
+  std::vector<Counter> counters_;
+  std::vector<Hist> hists_;
+};
+
+}  // namespace concert

@@ -32,9 +32,12 @@ NodeStats& NodeStats::operator+=(const NodeStats& o) {
   inbox_batched_msgs += o.inbox_batched_msgs;
   if (o.inbox_batch_max > inbox_batch_max) inbox_batch_max = o.inbox_batch_max;
   inbox_parks += o.inbox_parks;
+  park_wakeups += o.park_wakeups;
   loc_cache_hits += o.loc_cache_hits;
   loc_cache_misses += o.loc_cache_misses;
   loc_cache_invalidations += o.loc_cache_invalidations;
+  cache_evictions += o.cache_evictions;
+  msgs_dropped_trace += o.msgs_dropped_trace;
   for (std::size_t i = 0; i < kBundleBuckets; ++i) bundle_size_hist[i] += o.bundle_size_hist[i];
   return *this;
 }
@@ -76,9 +79,10 @@ std::string NodeStats::summary() const {
   os << "\n"
      << "inbox: batches=" << inbox_batches << " drained=" << inbox_batched_msgs
      << " mean_batch=" << mean_inbox_batch() << " max_batch=" << inbox_batch_max
-     << " parks=" << inbox_parks << "\n"
+     << " parks=" << inbox_parks << " wakeups=" << park_wakeups << "\n"
      << "location cache: hits=" << loc_cache_hits << " misses=" << loc_cache_misses
-     << " invalidations=" << loc_cache_invalidations << "\n";
+     << " invalidations=" << loc_cache_invalidations << " evictions=" << cache_evictions << "\n"
+     << "trace: dropped=" << msgs_dropped_trace << "\n";
   return os.str();
 }
 

@@ -55,9 +55,14 @@ struct NodeStats {
   std::uint64_t inbox_batched_msgs = 0; ///< Messages popped across those drains.
   std::uint64_t inbox_batch_max = 0;    ///< Largest single drain.
   std::uint64_t inbox_parks = 0;        ///< Times the node thread parked idle.
+  std::uint64_t park_wakeups = 0;       ///< Parks that woke to find inbox work waiting.
   std::uint64_t loc_cache_hits = 0;     ///< Location-cache hits in resolve_forwarding.
   std::uint64_t loc_cache_misses = 0;   ///< ... misses (full forwarding-chain walk).
   std::uint64_t loc_cache_invalidations = 0;  ///< Entries dropped at migration time.
+  std::uint64_t cache_evictions = 0;    ///< Location-cache entries displaced by a colliding insert.
+
+  // Observability (concert-scope).
+  std::uint64_t msgs_dropped_trace = 0;  ///< Trace records overwritten by the bounded ring.
 
   /// Flush-size histogram buckets: 1, 2, 3, 4, 5-8, 9-16, 17-32, 33+.
   static constexpr std::size_t kBundleBuckets = 8;

@@ -1,7 +1,9 @@
-// Execution tracing: events recorded in simulated-time order, chrome-trace
-// export well formed, zero overhead when disabled.
+// Execution tracing: ring-buffer recording, causal flow-id pairing across
+// nodes and engines, chrome-trace export well formed, binary round-trip,
+// zero overhead (bit-identical sim results) when disabled.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <sstream>
 
 #include "machine/trace.hpp"
@@ -17,16 +19,18 @@ TEST(Trace, DisabledByDefaultAndRecordsNothing) {
   SeqBenchFixtureState f(ExecMode::ParallelOnly);
   f.machine->run_main(0, f.ids.fib, kNoObject, {Value(8)});
   EXPECT_FALSE(f.machine->node(0).tracer.enabled());
-  EXPECT_TRUE(f.machine->node(0).tracer.records().empty());
+  EXPECT_EQ(f.machine->node(0).tracer.size(), 0u);
+  EXPECT_TRUE(f.machine->node(0).tracer.snapshot().empty());
 }
 
 struct TracedWorld {
   std::unique_ptr<SimMachine> machine;
   seqbench::Ids ids;
 
-  explicit TracedWorld(ExecMode mode, std::size_t nodes = 1) {
+  explicit TracedWorld(ExecMode mode, std::size_t nodes = 1, std::size_t capacity = 0) {
     MachineConfig cfg = test_config(mode);
     cfg.trace = true;
+    if (capacity > 0) cfg.trace_capacity = capacity;
     machine = std::make_unique<SimMachine>(nodes, cfg);
     ids = seqbench::register_seqbench(machine->registry(), true);
     machine->registry().finalize();
@@ -36,7 +40,7 @@ struct TracedWorld {
 TEST(Trace, RecordsDispatchesInParallelMode) {
   TracedWorld w(ExecMode::ParallelOnly);
   w.machine->run_main(0, w.ids.fib, kNoObject, {Value(8)});
-  const auto& recs = w.machine->node(0).tracer.records();
+  const auto recs = w.machine->node(0).tracer.snapshot();
   ASSERT_FALSE(recs.empty());
   int begins = 0, ends = 0;
   for (const auto& r : recs) {
@@ -52,9 +56,10 @@ TEST(Trace, TimestampsMonotonePerNode) {
   const GlobalRef arr = seqbench::make_qsort_array(*w.machine, 1, 64, 3);
   w.machine->run_main(0, w.ids.qsort, arr, {Value(0), Value(64)});
   for (NodeId n = 0; n < 2; ++n) {
-    const auto& recs = w.machine->node(n).tracer.records();
+    const auto recs = w.machine->node(n).tracer.snapshot();
     for (std::size_t i = 1; i < recs.size(); ++i) {
       EXPECT_LE(recs[i - 1].clock, recs[i].clock) << "node " << n << " record " << i;
+      EXPECT_LE(recs[i - 1].wall_ns, recs[i].wall_ns) << "node " << n << " record " << i;
     }
   }
 }
@@ -65,7 +70,7 @@ TEST(Trace, MessagesAppearOnBothSides) {
   w.machine->run_main(0, w.ids.qsort, arr, {Value(0), Value(32)});
   auto count = [&](NodeId n, TraceKind k) {
     int c = 0;
-    for (const auto& r : w.machine->node(n).tracer.records()) c += r.kind == k;
+    for (const auto& r : w.machine->node(n).tracer.snapshot()) c += r.kind == k;
     return c;
   };
   EXPECT_GE(count(0, TraceKind::MsgSend), 1);
@@ -74,10 +79,134 @@ TEST(Trace, MessagesAppearOnBothSides) {
             count(0, TraceKind::MsgRecv) + count(1, TraceKind::MsgRecv));
 }
 
-TEST(Trace, ChromeExportIsBalancedJson) {
+/// Multiset of the causal ids carried by records of `kind` across all nodes.
+std::map<std::uint64_t, int> cause_multiset(const Machine& m, TraceKind kind) {
+  std::map<std::uint64_t, int> out;
+  for (NodeId n = 0; n < m.node_count(); ++n) {
+    for (const auto& r : m.node(n).tracer.snapshot()) {
+      if (r.kind == kind && r.cause != 0) ++out[r.cause];
+    }
+  }
+  return out;
+}
+
+TEST(Trace, FlowIdsPairSendsWithReceivesAcrossNodes) {
+  TracedWorld w(ExecMode::Hybrid3, 2);
+  const GlobalRef arr = seqbench::make_qsort_array(*w.machine, 1, 64, 7);
+  w.machine->run_main(0, w.ids.qsort, arr, {Value(0), Value(64)});
+  const auto sends = cause_multiset(*w.machine, TraceKind::MsgSend);
+  const auto recvs = cause_multiset(*w.machine, TraceKind::MsgRecv);
+  ASSERT_FALSE(sends.empty());
+  // Every message sent is delivered exactly once, so the send-side and
+  // recv-side flow ids must match 1:1 (no drops: ring is far from full).
+  EXPECT_EQ(sends, recvs);
+  for (const auto& [cause, n] : sends) EXPECT_EQ(n, 1) << "cause " << cause << " sent twice";
+}
+
+TEST(Trace, FlowIdsPairSuspendsWithResumes) {
+  // ParallelOnly fib suspends at every join, so the trace is full of
+  // Suspend/Resume pairs; each real suspension draws a fresh flow id that the
+  // matching resumption re-records.
+  TracedWorld w(ExecMode::ParallelOnly);
+  w.machine->run_main(0, w.ids.fib, kNoObject, {Value(10)});
+  const auto suspends = cause_multiset(*w.machine, TraceKind::Suspend);
+  const auto resumes = cause_multiset(*w.machine, TraceKind::Resume);
+  ASSERT_FALSE(suspends.empty());
+  EXPECT_EQ(suspends, resumes);
+}
+
+TEST(Trace, FlowIdsPairOnThreadedEngine) {
+  MachineConfig cfg = test_config(ExecMode::Hybrid3);
+  cfg.trace = true;
+  ThreadedMachine m(2, cfg);
+  auto ids = seqbench::register_seqbench(m.registry(), true);
+  m.registry().finalize();
+  const GlobalRef arr = seqbench::make_qsort_array(m, 1, 64, 5);
+  const Value v = m.run_main(0, ids.qsort, arr, {Value(0), Value(64)});
+  EXPECT_EQ(v.as_i64(), 64);  // qsort's root future yields the sorted count
+  const auto sends = cause_multiset(m, TraceKind::MsgSend);
+  const auto recvs = cause_multiset(m, TraceKind::MsgRecv);
+  ASSERT_FALSE(sends.empty());
+  EXPECT_EQ(sends, recvs);
+  // Wall timestamps are meaningful on this engine: monotone per node.
+  for (NodeId n = 0; n < 2; ++n) {
+    const auto recs = m.node(n).tracer.snapshot();
+    for (std::size_t i = 1; i < recs.size(); ++i) {
+      EXPECT_LE(recs[i - 1].wall_ns, recs[i].wall_ns) << "node " << n;
+    }
+  }
+}
+
+TEST(Trace, StackRunsRecordedInHybridMode) {
+  TracedWorld w(ExecMode::Hybrid3);
+  w.machine->run_main(0, w.ids.fib, kNoObject, {Value(10)});
+  int stack_runs = 0;
+  for (const auto& r : w.machine->node(0).tracer.snapshot()) {
+    stack_runs += r.kind == TraceKind::StackRun;
+  }
+  // Only wrapper-level stack executions are traced; Frame::call sites also
+  // bump stack_calls, so the trace count is a strictly positive lower bound.
+  EXPECT_GT(stack_runs, 0);
+  EXPECT_LE(static_cast<std::uint64_t>(stack_runs), w.machine->node(0).stats.stack_calls);
+}
+
+TEST(Trace, RingWrapsAndCountsDrops) {
+  TracedWorld w(ExecMode::ParallelOnly, 1, /*capacity=*/64);
+  w.machine->run_main(0, w.ids.fib, kNoObject, {Value(10)});
+  const Tracer& tr = w.machine->node(0).tracer;
+  EXPECT_EQ(tr.capacity(), 64u);
+  EXPECT_EQ(tr.size(), 64u);
+  EXPECT_GT(tr.dropped(), 0u);
+  EXPECT_EQ(tr.dropped(), w.machine->node(0).stats.msgs_dropped_trace);
+  // The snapshot unwraps the ring: still oldest -> newest.
+  const auto recs = tr.snapshot();
+  ASSERT_EQ(recs.size(), 64u);
+  for (std::size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_LE(recs[i - 1].clock, recs[i].clock) << "record " << i;
+  }
+  // The drop total also reaches the detached dump's header.
+  const TraceDump dump = dump_trace(*w.machine);
+  EXPECT_EQ(dump.dropped, tr.dropped());
+  EXPECT_EQ(dump.events.size(), 64u);
+}
+
+TEST(Trace, BinaryDumpRoundTrips) {
+  TracedWorld w(ExecMode::Hybrid3, 2);
+  const GlobalRef arr = seqbench::make_qsort_array(*w.machine, 1, 32, 9);
+  w.machine->run_main(0, w.ids.qsort, arr, {Value(0), Value(32)});
+  const TraceDump dump = dump_trace(*w.machine, /*wall_time=*/false);
+  std::stringstream ss;
+  write_binary_trace(dump, ss);
+  TraceDump back;
+  std::string err;
+  ASSERT_TRUE(read_binary_trace(ss, back, &err)) << err;
+  EXPECT_EQ(back.node_count, dump.node_count);
+  EXPECT_EQ(back.dropped, dump.dropped);
+  EXPECT_EQ(back.wall_time, dump.wall_time);
+  EXPECT_EQ(back.method_names, dump.method_names);
+  ASSERT_EQ(back.events.size(), dump.events.size());
+  for (std::size_t i = 0; i < dump.events.size(); ++i) {
+    EXPECT_EQ(back.events[i].node, dump.events[i].node);
+    EXPECT_EQ(back.events[i].rec.clock, dump.events[i].rec.clock);
+    EXPECT_EQ(back.events[i].rec.wall_ns, dump.events[i].rec.wall_ns);
+    EXPECT_EQ(back.events[i].rec.cause, dump.events[i].rec.cause);
+    EXPECT_EQ(back.events[i].rec.method, dump.events[i].rec.method);
+    EXPECT_EQ(back.events[i].rec.kind, dump.events[i].rec.kind);
+  }
+}
+
+TEST(Trace, BinaryReaderRejectsGarbage) {
+  std::stringstream ss("definitely not a trace file");
+  TraceDump d;
+  std::string err;
+  EXPECT_FALSE(read_binary_trace(ss, d, &err));
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(Trace, ChromeExportIsBalancedJsonWithFlows) {
   // ParallelOnly so the trace contains heap-context dispatches (duration
-  // events) as well as messages; a hybrid run of this program would execute
-  // entirely on handler stacks.
+  // events) and suspensions; two nodes so messages cross the network and
+  // become flow events.
   TracedWorld w(ExecMode::ParallelOnly, 2);
   const GlobalRef arr = seqbench::make_qsort_array(*w.machine, 1, 32, 5);
   w.machine->run_main(0, w.ids.qsort, arr, {Value(0), Value(32)});
@@ -85,7 +214,7 @@ TEST(Trace, ChromeExportIsBalancedJson) {
   write_chrome_trace(*w.machine, os);
   const std::string s = os.str();
   ASSERT_GT(s.size(), 10u);
-  EXPECT_EQ(s.front(), '[');
+  EXPECT_EQ(s.front(), '{');  // object form: {"traceEvents": [...], "metadata": {...}}
   long depth = 0;
   for (char c : s) {
     if (c == '{' || c == '[') ++depth;
@@ -93,15 +222,46 @@ TEST(Trace, ChromeExportIsBalancedJson) {
     ASSERT_GE(depth, 0);
   }
   EXPECT_EQ(depth, 0);
-  EXPECT_NE(s.find("\"ph\":\"X\""), std::string::npos);   // at least one duration
+  EXPECT_NE(s.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(s.find("\"metadata\""), std::string::npos);
+  EXPECT_NE(s.find("\"ph\":\"X\""), std::string::npos);  // at least one duration
+  EXPECT_NE(s.find("\"ph\":\"s\""), std::string::npos);  // flow start
+  EXPECT_NE(s.find("\"ph\":\"f\""), std::string::npos);  // flow finish
   EXPECT_NE(s.find("msg_send"), std::string::npos);
-  EXPECT_NE(s.find("qsort"), std::string::npos);          // method names resolved
+  EXPECT_NE(s.find("qsort"), std::string::npos);  // method names resolved
+  EXPECT_NE(s.find("\"dropped_events\""), std::string::npos);
 }
 
-TEST(Trace, KindNamesAreDistinct) {
+TEST(Trace, MetricsOffRunsAreBitIdenticalToDefault) {
+  // The acceptance bar for the whole subsystem: with metrics off (the
+  // default), nothing in the cost-model domain moves. Run the same program
+  // with metrics ON and OFF and require identical simulated results.
+  auto run = [](bool metrics) {
+    MachineConfig cfg = test_config(ExecMode::Hybrid3);
+    cfg.metrics = metrics;
+    SimMachine m(2, cfg);
+    auto ids = seqbench::register_seqbench(m.registry(), true);
+    m.registry().finalize();
+    const GlobalRef arr = seqbench::make_qsort_array(m, 1, 64, 11);
+    const Value v = m.run_main(0, ids.qsort, arr, {Value(0), Value(64)});
+    EXPECT_EQ(v.as_i64(), 64);
+    return std::tuple{m.max_clock(), m.total_stats().msgs_sent, m.total_stats().stack_calls,
+                      m.total_stats().contexts_allocated};
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(Trace, KindNamesAreDistinctAndRoundTrip) {
   EXPECT_STREQ(trace_kind_name(TraceKind::MsgSend), "msg_send");
   EXPECT_STREQ(trace_kind_name(TraceKind::Suspend), "suspend");
   EXPECT_STREQ(trace_kind_name(TraceKind::Resume), "resume");
+  for (std::size_t k = 0; k < kTraceKindCount; ++k) {
+    TraceKind back;
+    ASSERT_TRUE(trace_kind_from_name(trace_kind_name(static_cast<TraceKind>(k)), back));
+    EXPECT_EQ(back, static_cast<TraceKind>(k));
+  }
+  TraceKind junk;
+  EXPECT_FALSE(trace_kind_from_name("nonsense", junk));
 }
 
 }  // namespace

@@ -1,0 +1,304 @@
+// concert_trace: converts, filters, and summarizes concert-scope binary
+// trace dumps (the "CTRACE01" files written by write_binary_trace, e.g.
+// `wallclock_suite --trace`).
+//
+//   concert_trace FILE [--summary] [--chrome] [--out PATH] [--top N]
+//                 [--node N] [--method NAME] [--kind KIND]
+//
+//   --summary   (default) prints trace statistics: top-N methods by self
+//               time, flow latency (MsgSend->MsgRecv, Suspend->Resume)
+//               p50/p99, and per-kind event counts.
+//   --chrome    writes Chrome trace-event JSON (Perfetto-loadable) to stdout
+//               or --out PATH.
+//   --node/--method/--kind restrict both modes to one node id, one method
+//               name, or one event kind (msg_send, msg_recv, dispatch,
+//               dispatch_end, suspend, resume, stack_run, outbox_flush).
+//
+// Filters drop events *before* conversion/summary, so e.g.
+// `--method sor_step --chrome` yields a timeline of just that method.
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "machine/trace.hpp"
+#include "support/histogram.hpp"
+#include "support/table.hpp"
+
+namespace concert {
+namespace {
+
+struct Options {
+  std::string file;
+  bool summary = false;
+  bool chrome = false;
+  std::string out;
+  std::size_t top = 10;
+  bool have_node = false;
+  NodeId node = 0;
+  std::string method;
+  bool have_kind = false;
+  TraceKind kind = TraceKind::MsgSend;
+};
+
+int usage() {
+  std::cerr << "usage: concert_trace FILE [--summary] [--chrome] [--out PATH] [--top N]\n"
+               "                     [--node N] [--method NAME] [--kind KIND]\n";
+  return 2;
+}
+
+const char* method_name_of(const TraceDump& d, MethodId m) {
+  if (m == kInvalidMethod || m >= d.method_names.size()) return "(root)";
+  return d.method_names[m].c_str();
+}
+
+double display_us(const TraceDump& d, const TraceRecord& r) {
+  return d.wall_time ? static_cast<double>(r.wall_ns) / 1e3
+                     : static_cast<double>(r.clock) * d.us_per_insn;
+}
+
+void apply_filters(TraceDump& d, const Options& opt) {
+  if (!opt.have_node && !opt.have_kind && opt.method.empty()) return;
+  MethodId wanted_method = kInvalidMethod;
+  bool method_found = opt.method.empty();
+  for (std::size_t m = 0; m < d.method_names.size(); ++m) {
+    if (d.method_names[m] == opt.method) {
+      wanted_method = static_cast<MethodId>(m);
+      method_found = true;
+      break;
+    }
+  }
+  if (!method_found) {
+    std::cerr << "concert_trace: warning: method '" << opt.method
+              << "' not in this trace's registry\n";
+  }
+  std::vector<TraceEvent> kept;
+  kept.reserve(d.events.size());
+  for (const TraceEvent& e : d.events) {
+    if (opt.have_node && e.node != opt.node) continue;
+    if (!opt.method.empty() && e.rec.method != wanted_method) continue;
+    if (opt.have_kind && e.rec.kind != opt.kind) continue;
+    kept.push_back(e);
+  }
+  d.events = std::move(kept);
+}
+
+// ---------------------------------------------------------------------------
+// Summary
+// ---------------------------------------------------------------------------
+
+struct FlowStats {
+  Histogram latency_ns;  ///< wall-ns (or sim-insn) start -> finish
+  std::uint64_t unmatched_starts = 0;
+  std::uint64_t unmatched_finishes = 0;
+};
+
+/// Pairs flow starts and finishes by causal id. Latency is measured in the
+/// dump's display domain (wall ns, or sim instructions). Events are ordered
+/// per node, not globally, so a finish can precede its start in the flat
+/// list — collect both sides first, join by cause afterwards.
+FlowStats pair_flows(const TraceDump& d, TraceKind start, TraceKind finish) {
+  FlowStats fs;
+  std::unordered_map<std::uint64_t, std::uint64_t> starts, finishes;
+  auto stamp = [&](const TraceRecord& r) { return d.wall_time ? r.wall_ns : r.clock; };
+  for (const TraceEvent& e : d.events) {
+    if (e.rec.cause == 0) continue;
+    if (e.rec.kind == start) starts[e.rec.cause] = stamp(e.rec);
+    if (e.rec.kind == finish) finishes[e.rec.cause] = stamp(e.rec);
+  }
+  for (const auto& [cause, t0] : starts) {
+    auto it = finishes.find(cause);
+    if (it == finishes.end()) {
+      ++fs.unmatched_starts;
+      continue;
+    }
+    fs.latency_ns.record(it->second > t0 ? it->second - t0 : 0);
+  }
+  for (const auto& [cause, t1] : finishes) {
+    if (!starts.count(cause)) ++fs.unmatched_finishes;
+  }
+  return fs;
+}
+
+struct MethodSelf {
+  std::string name;
+  std::uint64_t dispatches = 0;
+  std::uint64_t stack_runs = 0;
+  double self_us = 0.0;  ///< summed dispatch durations (display domain)
+};
+
+std::vector<MethodSelf> method_self_times(const TraceDump& d) {
+  // Linear scan with one open dispatch per node (steps run to completion,
+  // so dispatches cannot nest within a node).
+  struct Open {
+    double ts = -1.0;
+    MethodId method = kInvalidMethod;
+  };
+  std::vector<Open> open(d.node_count + 1);
+  std::unordered_map<MethodId, MethodSelf> by_method;
+  for (const TraceEvent& e : d.events) {
+    const std::size_t slot = std::min<std::size_t>(e.node, d.node_count);
+    MethodSelf& ms = by_method[e.rec.method];
+    if (ms.name.empty()) ms.name = method_name_of(d, e.rec.method);
+    switch (e.rec.kind) {
+      case TraceKind::DispatchBegin:
+        ++ms.dispatches;
+        open[slot] = Open{display_us(d, e.rec), e.rec.method};
+        break;
+      case TraceKind::DispatchEnd:
+        if (open[slot].ts >= 0 && open[slot].method == e.rec.method) {
+          by_method[e.rec.method].self_us += display_us(d, e.rec) - open[slot].ts;
+          open[slot].ts = -1.0;
+        }
+        break;
+      case TraceKind::StackRun: ++ms.stack_runs; break;
+      default: break;
+    }
+  }
+  std::vector<MethodSelf> out;
+  for (auto& [m, ms] : by_method) {
+    if (ms.dispatches || ms.stack_runs) out.push_back(std::move(ms));
+  }
+  std::sort(out.begin(), out.end(), [](const MethodSelf& a, const MethodSelf& b) {
+    return a.self_us != b.self_us ? a.self_us > b.self_us : a.name < b.name;
+  });
+  return out;
+}
+
+std::string fmt_us(double us) {
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed << us;
+  return os.str();
+}
+
+void print_flow_line(const char* label, const TraceDump& d, const FlowStats& fs) {
+  const char* unit = d.wall_time ? "us" : "insn";
+  const double scale = d.wall_time ? 1e-3 : 1.0;  // ns -> us for wall traces
+  std::cout << label << ": pairs=" << fs.latency_ns.count()
+            << " unmatched_start=" << fs.unmatched_starts
+            << " unmatched_finish=" << fs.unmatched_finishes;
+  if (fs.latency_ns.count() > 0) {
+    std::cout << " p50=" << fmt_us(fs.latency_ns.quantile(0.5) * scale) << unit
+              << " p99=" << fmt_us(fs.latency_ns.quantile(0.99) * scale) << unit
+              << " max=" << fmt_us(static_cast<double>(fs.latency_ns.max()) * scale) << unit;
+  }
+  std::cout << "\n";
+}
+
+int run_summary(const TraceDump& d, const Options& opt) {
+  std::uint64_t kind_counts[kTraceKindCount] = {};
+  double t_min = 0.0, t_max = 0.0;
+  for (std::size_t i = 0; i < d.events.size(); ++i) {
+    ++kind_counts[static_cast<std::size_t>(d.events[i].rec.kind)];
+    const double ts = display_us(d, d.events[i].rec);
+    if (i == 0) {
+      t_min = t_max = ts;
+    } else {
+      t_min = std::min(t_min, ts);
+      t_max = std::max(t_max, ts);
+    }
+  }
+  std::cout << "trace: " << d.events.size() << " events, " << d.node_count << " nodes, "
+            << d.dropped << " dropped, domain=" << (d.wall_time ? "wall" : "sim")
+            << ", span=" << fmt_us(t_max - t_min) << "us\n";
+  std::cout << "kinds:";
+  for (std::size_t k = 0; k < kTraceKindCount; ++k) {
+    if (kind_counts[k] > 0) {
+      std::cout << " " << trace_kind_name(static_cast<TraceKind>(k)) << "=" << kind_counts[k];
+    }
+  }
+  std::cout << "\n\n";
+
+  const std::vector<MethodSelf> methods = method_self_times(d);
+  std::cout << "top " << std::min(opt.top, methods.size()) << " methods by self time:\n";
+  TablePrinter t({"method", "self (us)", "dispatches", "stack runs"});
+  for (std::size_t i = 0; i < methods.size() && i < opt.top; ++i) {
+    const MethodSelf& ms = methods[i];
+    t.add_row({ms.name, fmt_us(ms.self_us), std::to_string(ms.dispatches),
+               std::to_string(ms.stack_runs)});
+  }
+  t.print(std::cout);
+  std::cout << "\n";
+
+  print_flow_line("msg flow (send->recv)", d,
+                  pair_flows(d, TraceKind::MsgSend, TraceKind::MsgRecv));
+  print_flow_line("ctx flow (suspend->resume)", d,
+                  pair_flows(d, TraceKind::Suspend, TraceKind::Resume));
+  return 0;
+}
+
+int run(const Options& opt) {
+  std::ifstream is(opt.file, std::ios::binary);
+  if (!is.good()) {
+    std::cerr << "concert_trace: cannot open " << opt.file << "\n";
+    return 1;
+  }
+  TraceDump d;
+  std::string err;
+  if (!read_binary_trace(is, d, &err)) {
+    std::cerr << "concert_trace: " << opt.file << ": " << err << "\n";
+    return 1;
+  }
+  apply_filters(d, opt);
+
+  if (opt.chrome) {
+    if (opt.out.empty()) {
+      write_chrome_trace(d, std::cout);
+    } else {
+      std::ofstream os(opt.out);
+      if (!os.good()) {
+        std::cerr << "concert_trace: cannot write " << opt.out << "\n";
+        return 1;
+      }
+      write_chrome_trace(d, os);
+      std::cerr << "wrote " << opt.out << "\n";
+    }
+  }
+  if (opt.summary || !opt.chrome) return run_summary(d, opt);
+  return 0;
+}
+
+}  // namespace
+}  // namespace concert
+
+int main(int argc, char** argv) {
+  using namespace concert;
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--summary") == 0) {
+      opt.summary = true;
+    } else if (std::strcmp(a, "--chrome") == 0) {
+      opt.chrome = true;
+    } else if (std::strcmp(a, "--out") == 0 && i + 1 < argc) {
+      opt.out = argv[++i];
+    } else if (std::strcmp(a, "--top") == 0 && i + 1 < argc) {
+      opt.top = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::strcmp(a, "--node") == 0 && i + 1 < argc) {
+      opt.have_node = true;
+      opt.node = static_cast<NodeId>(std::atoi(argv[++i]));
+    } else if (std::strcmp(a, "--method") == 0 && i + 1 < argc) {
+      opt.method = argv[++i];
+    } else if (std::strcmp(a, "--kind") == 0 && i + 1 < argc) {
+      opt.have_kind = true;
+      if (!trace_kind_from_name(argv[++i], opt.kind)) {
+        std::cerr << "concert_trace: unknown kind '" << argv[i] << "'\n";
+        return usage();
+      }
+    } else if (a[0] == '-') {
+      return usage();
+    } else if (opt.file.empty()) {
+      opt.file = a;
+    } else {
+      return usage();
+    }
+  }
+  if (opt.file.empty()) return usage();
+  return run(opt);
+}
