@@ -17,8 +17,11 @@
 // p50/p99 to the table and the JSON. --trace runs one extra traced SOR
 // iteration and writes TRACE_sor.ctrc (binary), TRACE_sor.json (Perfetto),
 // and — with --metrics — METRICS_sor.json / METRICS_sor.prom.
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <new>
 #include <string>
 #include <vector>
 
@@ -30,7 +33,37 @@
 #include "core/wrapper.hpp"
 #include "machine/threaded_machine.hpp"
 #include "machine/trace.hpp"
+#include "objects/migration.hpp"
 #include "support/metrics.hpp"
+
+// ---------------------------------------------------------------------------
+// Heap-allocation probe: link-time replacement of global operator new/delete
+// for THIS binary only, counting every allocation with one relaxed atomic
+// increment. The per-workload delta divided by invocations is the
+// `allocs_per_invocation` column — the number the arena/pool layers exist to
+// drive toward zero.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}
+
+void* operator new(std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace concert {
 namespace {
@@ -109,6 +142,11 @@ struct WorkloadResult {
   std::uint64_t loc_cache_hits = 0;
   std::uint64_t loc_cache_misses = 0;
   std::uint64_t spec_nb_calls = 0;  ///< Call sites bound NB by edge specialization.
+  // Memory subsystem (per measured rep, summed over nodes).
+  std::uint64_t heap_allocs = 0;        ///< Global operator-new calls.
+  double allocs_per_invocation = 0.0;   ///< heap_allocs / invocations.
+  double arena_recycle_frac = 0.0;      ///< ctx_recycled / (ctx_fresh + ctx_recycled).
+  double payload_hit_frac = 0.0;        ///< payload_pool_hits / payload_acquires.
   // Invocation wall latency, merged over nodes and reps (--metrics only).
   bool have_latency = false;
   std::uint64_t lat_p50_ns = 0;
@@ -136,13 +174,19 @@ WorkloadResult measure(const std::string& name, Machine& m, int warmup, int reps
   NodeStats first_delta;
   for (int i = 0; i < reps; ++i) {
     const NodeStats before = m.total_stats();
+    const std::uint64_t allocs_before = g_heap_allocs.load(std::memory_order_relaxed);
     bench::WallTimer t;
     body();
     const double s = t.seconds();
+    const std::uint64_t allocs_after = g_heap_allocs.load(std::memory_order_relaxed);
     NodeStats after = m.total_stats();
     sum += s;
     if (best < 0 || s < best) best = s;
-    if (i == 0) {
+    // Counters come from the LAST rep: invocation/message counts are
+    // identical across reps, but the allocation counters are not — pools and
+    // arenas warm up over the first reps, and the number that should gate
+    // regressions is the steady-state allocation rate, not the warm-up cost.
+    if (i == reps - 1) {
       first_delta = after;
       // Only the per-rep counter deltas matter; the subtraction is done
       // field-by-field below for the handful we report.
@@ -156,6 +200,21 @@ WorkloadResult measure(const std::string& name, Machine& m, int warmup, int reps
       const std::uint64_t drained = after.inbox_batched_msgs - before.inbox_batched_msgs;
       r.mean_inbox_batch = batches ? static_cast<double>(drained) / static_cast<double>(batches)
                                    : 0.0;
+      r.heap_allocs = allocs_after - allocs_before;
+      r.allocs_per_invocation =
+          r.invocations ? static_cast<double>(r.heap_allocs) / static_cast<double>(r.invocations)
+                        : 0.0;
+      const std::uint64_t ctx_total = (after.ctx_fresh - before.ctx_fresh) +
+                                      (after.ctx_recycled - before.ctx_recycled);
+      r.arena_recycle_frac =
+          ctx_total ? static_cast<double>(after.ctx_recycled - before.ctx_recycled) /
+                          static_cast<double>(ctx_total)
+                    : 0.0;
+      const std::uint64_t acq = after.payload_acquires - before.payload_acquires;
+      r.payload_hit_frac =
+          acq ? static_cast<double>(after.payload_pool_hits - before.payload_pool_hits) /
+                    static_cast<double>(acq)
+              : 0.0;
     }
   }
   r.best_wall_s = best;
@@ -213,6 +272,63 @@ WorkloadResult run_ping(bool smoke, int reps, const MachineConfig& cfg) {
     nd.free_context(root);
   };
   return measure("ping", m, /*warmup=*/1, reps, body);
+}
+
+/// Ping with object churn: every body migrates each ring object to the other
+/// node before circulating the tokens, but the `next` references (and the
+/// token seeds) keep naming the objects' *original* homes. Every hop
+/// therefore chases a forwarding record through the location cache — the
+/// workload the cache exists for, kept separate from plain `ping` so the
+/// pure-messaging number stays comparable across PRs.
+WorkloadResult run_ping_churn(bool smoke, int reps, const MachineConfig& cfg) {
+  const std::size_t nodes = 2;
+  const std::size_t tokens = 4;
+  const std::int64_t hops = smoke ? 1000 : 10000;
+  ThreadedMachine m(nodes, cfg);
+  register_ping(m.registry());
+  m.registry().finalize();
+
+  std::vector<PingObj*> objs;
+  std::vector<GlobalRef> refs;      // original (soon stale) names
+  std::vector<GlobalRef> current;   // live names, re-migrated every body
+  for (std::size_t i = 0; i < nodes; ++i) {
+    auto [ref, obj] = m.node(static_cast<NodeId>(i)).objects().create<PingObj>(kPingType);
+    refs.push_back(ref);
+    objs.push_back(obj);
+  }
+  for (std::size_t i = 0; i < nodes; ++i) objs[i]->next = refs[(i + 1) % nodes];
+  current = refs;
+
+  auto body = [&] {
+    // Churn phase (machine idle between quiescent runs): move every object to
+    // the opposite node. The stale `next` names now resolve through one more
+    // forwarding hop; the first use per name misses the cache (the owner
+    // invalidated its entries at migration), the rest of the run hits.
+    for (std::size_t i = 0; i < nodes; ++i) {
+      const NodeId away = static_cast<NodeId>((current[i].node + 1) % nodes);
+      current[i] = migrate_object<PingObj>(m, current[i], away);
+    }
+    Node& nd = m.node(0);
+    Context& root = nd.alloc_context_raw(kInvalidMethod, tokens);
+    root.status = ContextStatus::Proxy;
+    for (std::size_t k = 0; k < tokens; ++k) root.expect(static_cast<SlotId>(k));
+    for (std::size_t k = 0; k < tokens; ++k) {
+      // Seed through the stale original name: the old home re-routes it.
+      const GlobalRef start = refs[k % nodes];
+      nd.send(Message::invoke(0, start.node, g_ping, start, {Value(hops)},
+                              Continuation{root.ref(), static_cast<SlotId>(k)}));
+    }
+    m.run_until_quiescent();
+    for (std::size_t k = 0; k < tokens; ++k) {
+      CONCERT_CHECK(root.slot_full(static_cast<SlotId>(k)), "churn token " << k << " lost");
+    }
+    nd.free_context(root);
+  };
+  WorkloadResult r = measure("ping_churn", m, /*warmup=*/1, reps, body);
+  CONCERT_CHECK(r.loc_cache_hits > 0 && r.loc_cache_misses > 0,
+                "ping_churn failed to exercise the location cache (hits="
+                    << r.loc_cache_hits << ", misses=" << r.loc_cache_misses << ")");
+  return r;
 }
 
 WorkloadResult run_sor(bool smoke, int reps, const MachineConfig& cfg) {
@@ -323,7 +439,11 @@ void write_json(const std::string& path, const std::vector<WorkloadResult>& resu
        << ", \"msgs_per_sec\": " << static_cast<std::uint64_t>(r.msgs_per_s)
        << ", \"mean_inbox_batch\": " << r.mean_inbox_batch
        << ", \"loc_cache_hits\": " << r.loc_cache_hits
-       << ", \"loc_cache_misses\": " << r.loc_cache_misses;
+       << ", \"loc_cache_misses\": " << r.loc_cache_misses
+       << ", \"heap_allocs\": " << r.heap_allocs
+       << ", \"allocs_per_invocation\": " << r.allocs_per_invocation
+       << ", \"arena_recycle_frac\": " << r.arena_recycle_frac
+       << ", \"payload_hit_frac\": " << r.payload_hit_frac;
     if (r.have_latency) {
       os << ", \"invoke_latency_p50_ns\": " << r.lat_p50_ns
          << ", \"invoke_latency_p99_ns\": " << r.lat_p99_ns;
@@ -396,6 +516,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   bool metrics = false;
   bool trace = false;
+  bool pin = false;
   int reps = 3;
   std::string json_path = "BENCH_wallclock.json";
   for (int i = 1; i < argc; ++i) {
@@ -405,13 +526,15 @@ int main(int argc, char** argv) {
       metrics = true;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       trace = true;
+    } else if (std::strcmp(argv[i], "--pin") == 0) {
+      pin = true;
     } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
       reps = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else {
       std::cerr << "usage: wallclock_suite [--smoke] [--reps N] [--json PATH] "
-                   "[--metrics] [--trace]\n";
+                   "[--metrics] [--trace] [--pin]\n";
       return 2;
     }
   }
@@ -419,17 +542,21 @@ int main(int argc, char** argv) {
 
   MachineConfig cfg = wallclock_config();
   cfg.metrics = metrics;
+  cfg.pin_threads = pin;
 
   bench::print_caption(std::string("Wall-clock suite — threaded engine") +
-                       (smoke ? " (smoke)" : "") + (metrics ? " [metrics]" : ""));
+                       (smoke ? " (smoke)" : "") + (metrics ? " [metrics]" : "") +
+                       (pin ? " [pinned]" : ""));
   std::vector<WorkloadResult> results;
   results.push_back(run_ping(smoke, reps, cfg));
+  results.push_back(run_ping_churn(smoke, reps, cfg));
   results.push_back(run_sor(smoke, reps, cfg));
   results.push_back(run_em3d(smoke, reps, cfg));
   results.push_back(run_md(smoke, reps, cfg));
 
   std::vector<std::string> cols = {"workload", "best (s)", "mean (s)", "invocations", "msgs",
-                                   "inv/s", "msg/s", "avg inbox batch"};
+                                   "inv/s", "msg/s", "avg inbox batch", "allocs/inv",
+                                   "arena recycle"};
   if (metrics) {
     cols.push_back("lat p50 (ns)");
     cols.push_back("lat p99 (ns)");
@@ -441,7 +568,9 @@ int main(int argc, char** argv) {
                                     std::to_string(r.msgs),
                                     fmt_count(static_cast<std::uint64_t>(r.inv_per_s)),
                                     fmt_count(static_cast<std::uint64_t>(r.msgs_per_s)),
-                                    fmt_double(r.mean_inbox_batch, 2)};
+                                    fmt_double(r.mean_inbox_batch, 2),
+                                    fmt_double(r.allocs_per_invocation, 3),
+                                    fmt_double(r.arena_recycle_frac * 100.0, 1) + "%"};
     if (metrics) {
       row.push_back(r.have_latency ? fmt_count(r.lat_p50_ns) : "-");
       row.push_back(r.have_latency ? fmt_count(r.lat_p99_ns) : "-");

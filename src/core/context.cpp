@@ -1,20 +1,33 @@
 #include "core/context.hpp"
 
+#include <algorithm>
+
 namespace concert {
 
-Context& ContextArena::alloc(MethodId method, std::size_t slots) {
+ContextArena::~ContextArena() {
+  // Freelisted contexts carry poisoned slot/arg buffers (use-after-recycle
+  // hardening); the buffers must be re-armed before their vectors free them.
+  for (Context* ctx : pool_) {
+    if (ctx->status == ContextStatus::Free) ctx->unpoison_storage();
+  }
+  // slab_'s destructor runs the Context destructors.
+}
+
+Context& ContextArena::alloc(MethodId method, std::size_t slots, bool* recycled) {
   Context* ctx;
-  if (!freelist_.empty()) {
+  const bool from_freelist = !freelist_.empty();
+  if (from_freelist) {
     ContextId id = freelist_.back();
     freelist_.pop_back();
-    ctx = pool_[id].get();
+    ctx = pool_[id];
+    ctx->unpoison_storage();
   } else {
-    auto owned = std::make_unique<Context>();
-    owned->home = home_;
-    owned->id = static_cast<ContextId>(pool_.size());
-    ctx = owned.get();
-    pool_.push_back(std::move(owned));
+    ctx = slab_.create();
+    ctx->home = home_;
+    ctx->id = static_cast<ContextId>(pool_.size());
+    pool_.push_back(ctx);
   }
+  if (recycled != nullptr) *recycled = from_freelist;
   CONCERT_CHECK(ctx->status == ContextStatus::Free, "allocating non-free context");
   ++ctx->gen;
   ctx->method = method;
@@ -38,6 +51,7 @@ void ContextArena::free(Context& ctx) {
   CONCERT_CHECK(ctx.status != ContextStatus::Free, "double free of context " << ctx.ref());
   ctx.status = ContextStatus::Free;
   ctx.args.clear();
+  ctx.poison_storage();
   freelist_.push_back(ctx.id);
   CONCERT_CHECK(live_ > 0, "arena live-count underflow");
   --live_;
@@ -51,9 +65,15 @@ Context& ContextArena::resolve(const ContextRef& ref) {
 
 Context* ContextArena::try_resolve(const ContextRef& ref) {
   if (ref.node != home_ || ref.id >= pool_.size()) return nullptr;
-  Context* ctx = pool_[ref.id].get();
+  Context* ctx = pool_[ref.id];
   if (ctx->gen != ref.gen || ctx->status == ContextStatus::Free) return nullptr;
   return ctx;
+}
+
+void ContextArena::reset_at_quiescence() {
+  // Descending sort: freelist_.back() — the next id handed out — becomes the
+  // smallest free id, so post-reset allocation order matches a fresh arena.
+  std::sort(freelist_.begin(), freelist_.end(), std::greater<ContextId>());
 }
 
 }  // namespace concert

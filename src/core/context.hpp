@@ -13,13 +13,13 @@
 #pragma once
 
 #include <cstdint>
-#include <memory>
 #include <vector>
 
 #include "core/continuation.hpp"
 #include "core/ids.hpp"
 #include "core/global_ref.hpp"
 #include "core/value.hpp"
+#include "support/arena.hpp"
 #include "support/panic.hpp"
 
 namespace concert {
@@ -113,6 +113,21 @@ class Context {
     return slots_[s].full;
   }
 
+  /// ASan hardening (no-op otherwise): a freed-but-retained context keeps its
+  /// grown slot/arg buffers for the next activation, so a stale raw pointer
+  /// into a recycled activation would silently read the *next* activation's
+  /// futures. Poisoning the buffers while the context sits in the freelist
+  /// turns that into a trap at the faulting load. The Context header itself
+  /// (status, gen) stays readable — the generation check depends on it.
+  void poison_storage() {
+    arena_poison(slots_.data(), slots_.capacity() * sizeof(FutureSlot));
+    arena_poison(args.data(), args.capacity() * sizeof(Value));
+  }
+  void unpoison_storage() {
+    arena_unpoison(slots_.data(), slots_.capacity() * sizeof(FutureSlot));
+    arena_unpoison(args.data(), args.capacity() * sizeof(Value));
+  }
+
  private:
   std::vector<FutureSlot> slots_;
 };
@@ -122,15 +137,26 @@ class Context {
 /// ContextRefs travel in messages, so contexts must be nameable by stable ids
 /// rather than raw pointers; the generation counter turns stale-ref bugs into
 /// immediate ProtocolErrors instead of silent corruption.
+///
+/// Storage is a per-node slab arena (support/arena.hpp): contexts are carved
+/// out of slabs in allocation order instead of one `new` each, so fresh-id
+/// allocation touches the allocator once per slab, recycled-id allocation
+/// never, and contexts allocated together share cache lines. A recycled
+/// context keeps its grown slot/arg capacity (the steady-state activation
+/// path performs no heap traffic at all) but its buffers are ASan-poisoned
+/// while free — see Context::poison_storage.
 class ContextArena {
  public:
   explicit ContextArena(NodeId home) : home_(home) {}
+  ~ContextArena();
 
   ContextArena(const ContextArena&) = delete;
   ContextArena& operator=(const ContextArena&) = delete;
 
-  /// Allocates a context with `slots` future/local slots.
-  Context& alloc(MethodId method, std::size_t slots);
+  /// Allocates a context with `slots` future/local slots. When `recycled` is
+  /// non-null it reports whether the id came from the freelist (allocation
+  /// accounting; the caller owns the NodeStats).
+  Context& alloc(MethodId method, std::size_t slots, bool* recycled = nullptr);
 
   /// Returns a context to the freelist. The context must not be enqueued.
   void free(Context& ctx);
@@ -145,7 +171,7 @@ class ContextArena {
   /// queued contexts cannot be freed, so their id is a stable name).
   Context* try_resolve_any_gen(ContextId id) {
     if (id >= pool_.size()) return nullptr;
-    Context* ctx = pool_[id].get();
+    Context* ctx = pool_[id];
     return ctx->status == ContextStatus::Free ? nullptr : ctx;
   }
 
@@ -155,11 +181,25 @@ class ContextArena {
 
   std::size_t capacity() const { return pool_.size(); }
 
+  /// Bytes reserved in context slabs (headers only; slot/arg buffers are
+  /// owned by the contexts themselves).
+  std::size_t slab_bytes() const { return slab_.slab_bytes(); }
+
+  /// Quiescence housekeeping: canonicalizes the freelist so the lowest ids
+  /// are reused first — the next run allocates in the same order a fresh
+  /// arena would, keeping reuse deterministic across runs on one machine and
+  /// concentrating traffic on the oldest (warmest) slabs. Live contexts
+  /// (e.g. a driver's root proxy) are untouched.
+  void reset_at_quiescence();
+
  private:
   NodeId home_;
-  std::vector<std::unique_ptr<Context>> pool_;
+  SlabArena<Context> slab_{kContextSlabSlots};
+  std::vector<Context*> pool_;  ///< id -> stable slab address.
   std::vector<ContextId> freelist_;
   std::size_t live_ = 0;
+
+  static constexpr std::size_t kContextSlabSlots = 64;
 };
 
 }  // namespace concert

@@ -28,12 +28,23 @@ CallerInfo proxy_caller_info(const Context& proxy) {
 namespace {
 
 /// The conservative path: allocate a heap context and schedule it.
+/// A message-owned `owned` buffer is swapped into the context instead of
+/// copied; the context's previous (cleared, capacity-bearing) buffer flows
+/// back out through the message and into the node's payload pool.
 void invoke_via_heap(Node& nd, MethodId method, GlobalRef target, const Value* args,
-                     std::size_t nargs, const Continuation& k) {
+                     std::size_t nargs, const Continuation& k,
+                     std::vector<Value>* owned = nullptr) {
   ++nd.stats.heap_invokes;
   Context& ctx = nd.alloc_context(method);
   ctx.self = target;
-  ctx.args.assign(args, args + nargs);
+  if (owned != nullptr) {
+    CONCERT_CHECK(owned->data() == args && owned->size() == nargs,
+                  "owned payload does not match the args span");
+    ctx.args.swap(*owned);
+    ++nd.stats.payload_moves;
+  } else {
+    ctx.args.assign(args, args + nargs);
+  }
   ctx.ret = k;
   nd.charge(nd.costs().heap_invoke_fixed + nd.costs().save_word * nargs +
             nd.costs().linkage_install);
@@ -79,7 +90,8 @@ GlobalRef resolve_forwarding(Node& nd, GlobalRef target) {
 }
 
 void invoke_with_continuation(Node& nd, MethodId method, GlobalRef target, const Value* args,
-                              std::size_t nargs, const Continuation& k, bool count_invocation) {
+                              std::size_t nargs, const Continuation& k, bool count_invocation,
+                              std::vector<Value>* owned) {
   CONCERT_CHECK(method != kInvalidMethod, "invoke of invalid method");
   target = resolve_forwarding(nd, target);
   const DispatchEntry& de = nd.dispatch(method);
@@ -89,14 +101,22 @@ void invoke_with_continuation(Node& nd, MethodId method, GlobalRef target, const
 
   if (target.valid() && target.node != nd.id()) {
     if (count_invocation) ++nd.stats.remote_invokes;
-    nd.send(Message::invoke(nd.id(), target.node, method, target,
-                            std::vector<Value>(args, args + nargs), k));
+    std::vector<Value> payload;
+    if (owned != nullptr) {
+      // Re-route: the delivered buffer travels onward unchanged.
+      payload = std::move(*owned);
+      ++nd.stats.payload_moves;
+    } else {
+      payload = nd.acquire_payload(nargs);
+      payload.assign(args, args + nargs);
+    }
+    nd.send(Message::invoke(nd.id(), target.node, method, target, std::move(payload), k));
     return;
   }
   if (count_invocation) ++nd.stats.local_invokes;
 
   if (nd.mode() == ExecMode::ParallelOnly) {
-    invoke_via_heap(nd, method, target, args, nargs, k);
+    invoke_via_heap(nd, method, target, args, nargs, k, owned);
     return;
   }
 
@@ -105,7 +125,7 @@ void invoke_with_continuation(Node& nd, MethodId method, GlobalRef target, const
   if (target.valid()) {
     nd.charge(nd.costs().lock_check);
     if (nd.objects().locked(target)) {
-      invoke_via_heap(nd, method, target, args, nargs, k);
+      invoke_via_heap(nd, method, target, args, nargs, k, owned);
       return;
     }
   }
@@ -180,7 +200,7 @@ void handle_invoke_message(Node& nd, Message& msg) {
   // future object-migration feature) is transparently re-routed by the
   // remote branch inside. The invocation was already counted at the sender.
   invoke_with_continuation(nd, msg.method, msg.target, msg.args.data(), msg.args.size(),
-                           msg.reply_to, /*count_invocation=*/false);
+                           msg.reply_to, /*count_invocation=*/false, /*owned=*/&msg.args);
 }
 
 }  // namespace concert

@@ -67,6 +67,10 @@ std::size_t Machine::buffered_msgs() const {
   return n;
 }
 
+void Machine::quiesce_memory() {
+  for (auto& n : nodes_) n->quiesce_memory();
+}
+
 void Machine::verify_at_quiescence() const {
   if (config_.verify) verify::enforce_conformance(*this);
 }
@@ -115,6 +119,16 @@ void export_metrics(const Machine& machine, MetricsRegistry& out) {
       {"concert_loc_cache_misses_total", t.loc_cache_misses},
       {"concert_loc_cache_invalidations_total", t.loc_cache_invalidations},
       {"concert_cache_evictions_total", t.cache_evictions},
+      {"concert_ctx_fresh_total", t.ctx_fresh},
+      {"concert_ctx_recycled_total", t.ctx_recycled},
+      {"concert_arena_slab_bytes", t.arena_slab_bytes},
+      {"concert_arena_resets_total", t.arena_resets},
+      {"concert_payload_acquires_total", t.payload_acquires},
+      {"concert_payload_pool_hits_total", t.payload_pool_hits},
+      {"concert_payload_releases_total", t.payload_releases},
+      {"concert_payload_discards_total", t.payload_discards},
+      {"concert_payload_moves_total", t.payload_moves},
+      {"concert_thread_pins_total", t.thread_pins},
       {"concert_trace_records_dropped_total", t.msgs_dropped_trace},
   };
   for (const auto& [name, value] : counters) out.add_counter(name, "", value);

@@ -67,6 +67,12 @@ struct MachineConfig {
   /// simulated clocks and message counts are identical either way. Defaults
   /// on when built with -DCONCERT_VERIFY; runtime-togglable per machine.
   bool verify = kVerifyByDefault;
+  /// Threaded engine only: pin each node's thread to a CPU, with CPUs
+  /// interleaved across NUMA domains (parsed from /sys on Linux) so
+  /// neighbouring node ids land on different memory domains — the multi-
+  /// computer-on-a-multicomputer placement. Off by default; a no-op on
+  /// platforms without affinity support and in the deterministic engine.
+  bool pin_threads = false;
   /// Call-site-sensitive schema specialization (concert-analyze): seal() also
   /// materializes per-edge NB-at-site annotations and the invoke fast path
   /// binds the NB convention on edges the site fixpoint proved cannot leave
@@ -153,6 +159,11 @@ class Machine {
   }
 
  protected:
+  /// Quiescence-time memory housekeeping on every node (arena freelist
+  /// canonicalization, payload-pool trim). Engines call it once the system is
+  /// idle; it charges nothing, so simulated clocks are unaffected.
+  void quiesce_memory();
+
   MachineConfig config_;
   MethodRegistry registry_;
   std::vector<std::unique_ptr<Node>> nodes_;

@@ -50,6 +50,16 @@ Message Message::reply(NodeId src, NodeId dst, Continuation k, const Value& v) {
   return msg;
 }
 
+Message Message::reply(NodeId src, NodeId dst, Continuation k, std::vector<Value> payload) {
+  Message msg;
+  msg.kind = MsgKind::Reply;
+  msg.src = src;
+  msg.dst = dst;
+  msg.reply_to = k;
+  msg.args = std::move(payload);
+  return msg;
+}
+
 Message Message::bundle_of(NodeId src, NodeId dst, std::vector<Message> elems) {
   CONCERT_CHECK(elems.size() >= 2, "bundle of " << elems.size() << " elements (send it plain)");
   Message msg;

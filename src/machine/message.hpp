@@ -61,6 +61,9 @@ struct Message {
   static Message invoke(NodeId src, NodeId dst, MethodId m, GlobalRef target,
                         std::vector<Value> args, Continuation reply_to);
   static Message reply(NodeId src, NodeId dst, Continuation k, const Value& v);
+  /// Pooled-buffer variant: `payload` (already holding the reply value(s))
+  /// becomes the message's args without a copy.
+  static Message reply(NodeId src, NodeId dst, Continuation k, std::vector<Value> payload);
   /// Wraps >= 2 staged messages (all with dst `dst`) into one bundle.
   static Message bundle_of(NodeId src, NodeId dst, std::vector<Message> elems);
 };

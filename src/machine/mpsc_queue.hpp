@@ -28,6 +28,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <mutex>
 #include <new>
 #include <utility>
 
@@ -112,12 +113,63 @@ class MpscQueue {
 
   /// Per-thread LIFO of raw node-sized blocks (freed blocks link through
   /// their first word). Capped so one-sided flows cannot hoard memory.
+  ///
+  /// Node threads are created fresh for every run_until_quiescent, so a
+  /// purely thread_local cache would be built from malloc each run and
+  /// thrown away at thread exit. Instead a dying thread donates its chain to
+  /// a process-wide overflow pool, and a cold thread refills from it in one
+  /// batched grab — the mutex is touched only at thread birth and death,
+  /// never on the per-message path.
   struct BlockCache {
     static constexpr std::size_t kMax = 1024;
     void* head = nullptr;
     std::size_t count = 0;
 
-    ~BlockCache() {
+    ~BlockCache() { global_pool().donate(head, count); }
+  };
+
+  /// Mutex-guarded chain of donated blocks, shared by all queues of this
+  /// element type. Bounded: donations beyond the cap are freed for real.
+  struct GlobalBlockPool {
+    static constexpr std::size_t kMax = 8192;
+    std::mutex mu;
+    void* head = nullptr;
+    std::size_t count = 0;
+
+    void donate(void* chain, std::size_t n) {
+      if (chain == nullptr) return;
+      std::scoped_lock lk(mu);
+      while (chain != nullptr && count < kMax) {
+        void* next = *static_cast<void**>(chain);
+        *static_cast<void**>(chain) = head;
+        head = chain;
+        ++count;
+        chain = next;
+      }
+      while (chain != nullptr) {
+        void* next = *static_cast<void**>(chain);
+        ::operator delete(chain);
+        chain = next;
+      }
+      (void)n;
+    }
+
+    /// Moves up to `max` blocks into `cache_head`, returning how many moved.
+    std::size_t refill(void*& cache_head, std::size_t max) {
+      std::scoped_lock lk(mu);
+      std::size_t moved = 0;
+      while (head != nullptr && moved < max) {
+        void* b = head;
+        head = *static_cast<void**>(b);
+        --count;
+        *static_cast<void**>(b) = cache_head;
+        cache_head = b;
+        ++moved;
+      }
+      return moved;
+    }
+
+    ~GlobalBlockPool() {
       while (head != nullptr) {
         void* next = *static_cast<void**>(head);
         ::operator delete(head);
@@ -126,13 +178,22 @@ class MpscQueue {
     }
   };
 
+  static GlobalBlockPool& global_pool() {
+    static GlobalBlockPool pool;
+    return pool;
+  }
+
   static BlockCache& block_cache() {
     thread_local BlockCache cache;
     return cache;
   }
 
   static void* alloc_block() {
+    // Construct (and so register) the global pool before this thread's cache:
+    // destructors run in reverse, and the cache's dtor donates into the pool.
+    GlobalBlockPool& pool = global_pool();
     BlockCache& c = block_cache();
+    if (c.head == nullptr) c.count = pool.refill(c.head, 64);
     if (c.head != nullptr) {
       void* b = c.head;
       c.head = *static_cast<void**>(b);

@@ -42,9 +42,43 @@ Context& Node::alloc_context(MethodId m) {
 Context& Node::alloc_context_raw(MethodId m, std::size_t slots) {
   charge(costs().context_alloc);
   ++stats.contexts_allocated;
-  Context& ctx = arena_.alloc(m, slots);
+  const std::size_t slab_before = arena_.slab_bytes();
+  bool recycled = false;
+  Context& ctx = arena_.alloc(m, slots, &recycled);
+  if (recycled) {
+    ++stats.ctx_recycled;
+  } else {
+    ++stats.ctx_fresh;
+    stats.arena_slab_bytes += arena_.slab_bytes() - slab_before;
+  }
   if (metrics_) ctx.born_ns = machine_.wall_now_ns();
   return ctx;
+}
+
+std::vector<Value> Node::acquire_payload(std::size_t reserve) {
+  ++stats.payload_acquires;
+  std::vector<Value> buf;
+  if (payload_pool_.try_acquire(buf, reserve)) {
+    ++stats.payload_pool_hits;
+  }
+  buf.reserve(reserve);
+  return buf;
+}
+
+void Node::release_payload(std::vector<Value>&& buf) {
+  if (buf.capacity() == 0) return;  // moved-from or never grown: nothing to keep
+  buf.clear();
+  if (payload_pool_.release(std::move(buf))) {
+    ++stats.payload_releases;
+  } else {
+    ++stats.payload_discards;
+  }
+}
+
+void Node::quiesce_memory() {
+  arena_.reset_at_quiescence();
+  stats.payload_discards += payload_pool_.trim(kPayloadPoolKeep);
+  ++stats.arena_resets;
 }
 
 void Node::free_context(Context& ctx) {
@@ -302,6 +336,10 @@ void Node::deliver_element(Message& msg) {
   } else {
     handle_invoke_message(*this, msg);
   }
+  // The payload buffer has been consumed (filled into slots, executed from,
+  // swapped into a context, or moved onward); recycle whatever capacity the
+  // message still owns into this node's pool.
+  release_payload(std::move(msg.args));
 }
 
 void Node::push_inbox(Message msg) {
@@ -365,7 +403,9 @@ void Node::reply_to(const Continuation& k, const Value& v) {
   if (k.target.node == id_) {
     fill_local(k, v);
   } else {
-    send(Message::reply(id_, k.target.node, k, v));
+    std::vector<Value> payload = acquire_payload(1);
+    payload.push_back(v);
+    send(Message::reply(id_, k.target.node, k, std::move(payload)));
   }
 }
 
@@ -378,9 +418,9 @@ void Node::reply_to_multi(const Continuation& k, const Value* vs, std::size_t n)
       fill_local(ki, vs[i]);
     }
   } else {
-    Message msg = Message::reply(id_, k.target.node, k, vs[0]);
-    msg.args.assign(vs, vs + n);
-    send(std::move(msg));
+    std::vector<Value> payload = acquire_payload(n);
+    payload.assign(vs, vs + n);
+    send(Message::reply(id_, k.target.node, k, std::move(payload)));
   }
 }
 

@@ -30,6 +30,7 @@
 #include "machine/trace.hpp"
 #include "objects/location_cache.hpp"
 #include "objects/object_space.hpp"
+#include "support/arena.hpp"
 #include "support/histogram.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
@@ -142,6 +143,23 @@ class Node {
   Context& alloc_context_raw(MethodId m, std::size_t slots);
   void free_context(Context& ctx);
   ContextArena& arena() { return arena_; }
+
+  // ---- payload buffers ----
+  /// Hands out a cleared Value buffer for an outgoing message payload,
+  /// recycled from this node's pool when possible (counts the pool hit).
+  /// Callers run on this node's thread (Node::send discipline), so the pool
+  /// needs no locking.
+  std::vector<Value> acquire_payload(std::size_t reserve);
+  /// Returns a delivered payload buffer to this node's pool. Zero-capacity
+  /// buffers (moved-from, never-grown) are ignored; over-cap releases are
+  /// dropped and counted.
+  void release_payload(std::vector<Value>&& buf);
+  BufferPool<Value>& payload_pool() { return payload_pool_; }
+
+  /// Quiescence-time memory housekeeping: canonicalizes the context arena
+  /// freelist and trims the payload pool. Charges nothing — the cost model
+  /// never sees it — so tables 4/5/6 are unaffected.
+  void quiesce_memory();
 
   // ---- scheduler ----
   void enqueue(Context& ctx);
@@ -279,6 +297,16 @@ class Node {
   // nullptr unless MachineConfig::specialize_edges put entries in it.
   const MethodId* spec_ = nullptr;
   Outbox outbox_;  ///< Staged outgoing messages; touched only by this node's thread.
+  /// Recycler for message payload buffers. Acquired by this node's thread on
+  /// send, refilled with buffers arriving in delivered messages — symmetric
+  /// traffic keeps it balanced without cross-thread access.
+  BufferPool<Value> payload_pool_{kPayloadPoolCap};
+  static constexpr std::size_t kPayloadPoolCap = 256;
+  /// Buffers kept across quiescence (quiesce_memory trims down to this).
+  /// Kept close to the cap: bursty exchange phases (SOR boundary rows) drain
+  /// the pool faster than deliveries refill it, so a deep trim turns the
+  /// first burst after every quiescent point into fresh heap allocations.
+  static constexpr std::size_t kPayloadPoolKeep = 192;
   std::vector<Message> flush_scratch_;  ///< Reused drain buffer (capacity cycles).
   std::unique_ptr<NodeMetrics> metrics_;  ///< Null unless MachineConfig::metrics.
   ObjectSpace objects_;

@@ -69,6 +69,7 @@ void SimMachine::run_until_quiescent() {
     }
     ++actions_;
   }
+  quiesce_memory();
   verify_at_quiescence();
 }
 

@@ -4,7 +4,88 @@
 #include <thread>
 #include <vector>
 
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+
+#include <cctype>
+#include <fstream>
+#include <string>
+#endif
+
 namespace concert {
+
+namespace {
+
+#ifdef __linux__
+/// Parses a /sys cpulist ("0-3,8,10-11") into CPU ids. Malformed input just
+/// yields fewer entries — pinning is best-effort.
+std::vector<int> parse_cpulist(const std::string& list) {
+  std::vector<int> cpus;
+  std::size_t i = 0;
+  while (i < list.size()) {
+    if (!std::isdigit(static_cast<unsigned char>(list[i]))) {
+      ++i;
+      continue;
+    }
+    std::size_t end;
+    int lo = std::stoi(list.substr(i), &end);
+    i += end;
+    int hi = lo;
+    if (i < list.size() && list[i] == '-') {
+      ++i;
+      hi = std::stoi(list.substr(i), &end);
+      i += end;
+    }
+    for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+  }
+  return cpus;
+}
+
+/// CPU ids interleaved across NUMA domains (node0 cpu0, node1 cpu0, node0
+/// cpu1, ...), so consecutive node threads land on different memory domains.
+/// Falls back to 0..hw-1 when /sys exposes no NUMA topology.
+std::vector<int> numa_interleaved_cpus() {
+  std::vector<std::vector<int>> domains;
+  for (int d = 0;; ++d) {
+    std::ifstream f("/sys/devices/system/node/node" + std::to_string(d) + "/cpulist");
+    if (!f.is_open()) break;
+    std::string list;
+    std::getline(f, list);
+    std::vector<int> cpus = parse_cpulist(list);
+    if (!cpus.empty()) domains.push_back(std::move(cpus));
+  }
+  std::vector<int> plan;
+  if (domains.empty()) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    for (unsigned c = 0; c < hw; ++c) plan.push_back(static_cast<int>(c));
+    return plan;
+  }
+  for (std::size_t i = 0; !domains.empty(); ++i) {
+    bool any = false;
+    for (auto& dom : domains) {
+      if (i < dom.size()) {
+        plan.push_back(dom[i]);
+        any = true;
+      }
+    }
+    if (!any) break;
+  }
+  return plan;
+}
+
+bool pin_current_thread(int cpu) {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+#else
+std::vector<int> numa_interleaved_cpus() { return {}; }
+bool pin_current_thread(int) { return false; }
+#endif
+
+}  // namespace
 
 ThreadedMachine::ThreadedMachine(std::size_t nodes, MachineConfig config)
     : Machine(nodes, config) {}
@@ -78,10 +159,21 @@ void ThreadedMachine::node_loop(NodeId id) {
 
 void ThreadedMachine::run_until_quiescent() {
   stop_.store(false, std::memory_order_release);
+  // NUMA-interleaved placement plan (MachineConfig::pin_threads): node i runs
+  // on plan[i % plan.size()]. Each thread pins *itself* before its first
+  // action, so the affinity applies to the whole loop and the pin counter is
+  // touched only by the stats' owning thread.
+  std::vector<int> plan;
+  if (config_.pin_threads) plan = numa_interleaved_cpus();
   std::vector<std::thread> threads;
   threads.reserve(nodes_.size());
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    threads.emplace_back([this, i] { node_loop(static_cast<NodeId>(i)); });
+    const int cpu = plan.empty() ? -1 : plan[i % plan.size()];
+    threads.emplace_back([this, i, cpu] {
+      const NodeId id = static_cast<NodeId>(i);
+      if (cpu >= 0 && pin_current_thread(cpu)) ++node(id).stats.thread_pins;
+      node_loop(id);
+    });
   }
   // The counter only reaches zero when no message is queued, no context is
   // ready, and no action is mid-flight (every action holds its own +1 until
@@ -94,7 +186,9 @@ void ThreadedMachine::run_until_quiescent() {
   // not wait out the park timeout per node.
   for (std::size_t i = 0; i < nodes_.size(); ++i) node(static_cast<NodeId>(i)).wake_inbox();
   for (auto& t : threads) t.join();
-  // Node threads are gone; their recorders are safe to read from here.
+  // Node threads are gone; memory housekeeping and the recorders are safe to
+  // touch from here.
+  quiesce_memory();
   verify_at_quiescence();
 }
 

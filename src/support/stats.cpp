@@ -37,6 +37,16 @@ NodeStats& NodeStats::operator+=(const NodeStats& o) {
   loc_cache_misses += o.loc_cache_misses;
   loc_cache_invalidations += o.loc_cache_invalidations;
   cache_evictions += o.cache_evictions;
+  ctx_fresh += o.ctx_fresh;
+  ctx_recycled += o.ctx_recycled;
+  arena_slab_bytes += o.arena_slab_bytes;
+  arena_resets += o.arena_resets;
+  payload_acquires += o.payload_acquires;
+  payload_pool_hits += o.payload_pool_hits;
+  payload_releases += o.payload_releases;
+  payload_discards += o.payload_discards;
+  payload_moves += o.payload_moves;
+  thread_pins += o.thread_pins;
   msgs_dropped_trace += o.msgs_dropped_trace;
   for (std::size_t i = 0; i < kBundleBuckets; ++i) bundle_size_hist[i] += o.bundle_size_hist[i];
   return *this;
@@ -82,6 +92,11 @@ std::string NodeStats::summary() const {
      << " parks=" << inbox_parks << " wakeups=" << park_wakeups << "\n"
      << "location cache: hits=" << loc_cache_hits << " misses=" << loc_cache_misses
      << " invalidations=" << loc_cache_invalidations << " evictions=" << cache_evictions << "\n"
+     << "memory: ctx_fresh=" << ctx_fresh << " ctx_recycled=" << ctx_recycled
+     << " slab_bytes=" << arena_slab_bytes << " resets=" << arena_resets << "\n"
+     << "payloads: acquires=" << payload_acquires << " pool_hits=" << payload_pool_hits
+     << " releases=" << payload_releases << " discards=" << payload_discards
+     << " moves=" << payload_moves << "\n"
      << "trace: dropped=" << msgs_dropped_trace << "\n";
   return os.str();
 }

@@ -61,6 +61,18 @@ struct NodeStats {
   std::uint64_t loc_cache_invalidations = 0;  ///< Entries dropped at migration time.
   std::uint64_t cache_evictions = 0;    ///< Location-cache entries displaced by a colliding insert.
 
+  // Memory subsystem (context slab arena, payload buffer pools).
+  std::uint64_t ctx_fresh = 0;          ///< Context allocs that bumped a slab (first use of an id).
+  std::uint64_t ctx_recycled = 0;       ///< Context allocs served from the arena freelist.
+  std::uint64_t arena_slab_bytes = 0;   ///< Bytes reserved in context slabs.
+  std::uint64_t arena_resets = 0;       ///< Quiescence-time arena/pool housekeeping passes.
+  std::uint64_t payload_acquires = 0;   ///< Payload buffers requested for outgoing messages.
+  std::uint64_t payload_pool_hits = 0;  ///< ... of which were served from the per-node pool.
+  std::uint64_t payload_releases = 0;   ///< Delivered payload buffers returned to the pool.
+  std::uint64_t payload_discards = 0;   ///< Releases dropped because the pool was full (heap free).
+  std::uint64_t payload_moves = 0;      ///< Message-owned payloads handed over without a copy.
+  std::uint64_t thread_pins = 0;        ///< Node threads pinned to a CPU (MachineConfig::pin_threads).
+
   // Observability (concert-scope).
   std::uint64_t msgs_dropped_trace = 0;  ///< Trace records overwritten by the bounded ring.
 

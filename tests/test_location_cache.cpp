@@ -174,6 +174,36 @@ TEST(LocationCacheThreaded, StaleNamesAcrossMigrationBothDirections) {
   EXPECT_GE(s.loc_cache_hits, 1u);
 }
 
+TEST(LocationCacheSim, ChurnWorkloadKeepsCacheAlive) {
+  // Regression guard for the bench churn phase (wallclock_suite ping_churn):
+  // a migration-churn workload must drive real traffic through the cache —
+  // misses when the owner's invalidation drops entries at each migration,
+  // hits when later invocations reuse the refreshed answer. If a future
+  // change silently routes stale names around the cache, this trips.
+  CacheWorld w(2);
+  std::vector<GlobalRef> stale;    // original names, never refreshed
+  std::vector<GlobalRef> current;  // live names, used to migrate
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    const GlobalRef r = seqbench::make_qsort_array(*w.machine, i % 2, 16, 31 + i);
+    stale.push_back(r);
+    current.push_back(r);
+  }
+  for (int rep = 0; rep < 4; ++rep) {
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      const NodeId dst = static_cast<NodeId>((current[i].node + 1) % 2);
+      current[i] = migrate_object<seqbench::IntArray>(*w.machine, current[i], dst);
+    }
+    for (std::size_t i = 0; i < stale.size(); ++i) {
+      const Value v = w.machine->run_main(0, w.ids.qsort, stale[i], {Value(0), Value(16)});
+      ASSERT_GT(v.as_i64(), 0);
+    }
+    ASSERT_EQ(w.machine->live_contexts(), 0u);
+  }
+  const NodeStats s = w.machine->total_stats();
+  EXPECT_GT(s.loc_cache_hits, 0u);
+  EXPECT_GT(s.loc_cache_misses, 0u);
+}
+
 class LocationCacheModes : public ::testing::TestWithParam<ExecMode> {};
 
 TEST_P(LocationCacheModes, CorrectInEveryMode) {

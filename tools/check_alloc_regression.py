@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Allocation-regression guard for the wall-clock bench suite.
+
+Compares allocs_per_invocation in a fresh BENCH_wallclock.json against the
+committed baseline (bench/alloc_baseline.json) and fails if any guarded
+workload's heap allocations per invocation grew by more than the baseline's
+max_growth_frac (default 25%). This is how a PR that quietly re-introduces a
+per-message copy or drops arena recycling gets caught before merge.
+
+Usage: check_alloc_regression.py BENCH_wallclock.json [alloc_baseline.json]
+"""
+
+import json
+import os
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    bench_path = sys.argv[1]
+    baseline_path = (
+        sys.argv[2]
+        if len(sys.argv) > 2
+        else os.path.join(os.path.dirname(__file__), "..", "bench", "alloc_baseline.json")
+    )
+
+    with open(bench_path) as f:
+        bench = json.load(f)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+
+    measured = {r["name"]: r for r in bench.get("results", [])}
+    max_growth = float(baseline.get("max_growth_frac", 0.25))
+    failures = []
+
+    for name, base_allocs in baseline["workloads"].items():
+        row = measured.get(name)
+        if row is None:
+            failures.append(f"{name}: missing from {bench_path}")
+            continue
+        allocs = row.get("allocs_per_invocation")
+        if allocs is None:
+            failures.append(f"{name}: no allocs_per_invocation column in {bench_path}")
+            continue
+        limit = base_allocs * (1.0 + max_growth)
+        verdict = "FAIL" if allocs > limit else "ok"
+        print(
+            f"{name}: allocs/inv {allocs:.4f} vs baseline {base_allocs:.4f} "
+            f"(limit {limit:.4f}) {verdict}"
+        )
+        if allocs > limit:
+            failures.append(
+                f"{name}: allocs_per_invocation {allocs:.4f} exceeds baseline "
+                f"{base_allocs:.4f} by more than {max_growth:.0%}"
+            )
+
+    if failures:
+        print("\nAllocation regression detected:", file=sys.stderr)
+        for f_ in failures:
+            print(f"  - {f_}", file=sys.stderr)
+        print(
+            "\nIf the growth is intentional (e.g. a feature that must allocate), "
+            "update bench/alloc_baseline.json in the same PR with a justification.",
+            file=sys.stderr,
+        )
+        return 1
+    print("allocation guard: all workloads within budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
