@@ -437,10 +437,14 @@ void write_json(const std::string& path, const std::vector<WorkloadResult>& resu
        << ", \"invocations\": " << r.invocations << ", \"msgs\": " << r.msgs
        << ", \"invocations_per_sec\": " << static_cast<std::uint64_t>(r.inv_per_s)
        << ", \"msgs_per_sec\": " << static_cast<std::uint64_t>(r.msgs_per_s)
-       << ", \"mean_inbox_batch\": " << r.mean_inbox_batch
-       << ", \"loc_cache_hits\": " << r.loc_cache_hits
-       << ", \"loc_cache_misses\": " << r.loc_cache_misses
-       << ", \"heap_allocs\": " << r.heap_allocs
+       << ", \"mean_inbox_batch\": " << r.mean_inbox_batch;
+    // Only kernels that actually drove the location cache report its
+    // counters; emitting 0/0 for the rest implied the cache was exercised.
+    if (r.loc_cache_hits + r.loc_cache_misses > 0) {
+      os << ", \"loc_cache_hits\": " << r.loc_cache_hits
+         << ", \"loc_cache_misses\": " << r.loc_cache_misses;
+    }
+    os << ", \"heap_allocs\": " << r.heap_allocs
        << ", \"allocs_per_invocation\": " << r.allocs_per_invocation
        << ", \"arena_recycle_frac\": " << r.arena_recycle_frac
        << ", \"payload_hit_frac\": " << r.payload_hit_frac;
@@ -556,7 +560,7 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> cols = {"workload", "best (s)", "mean (s)", "invocations", "msgs",
                                    "inv/s", "msg/s", "avg inbox batch", "allocs/inv",
-                                   "arena recycle"};
+                                   "arena recycle", "loc cache hit"};
   if (metrics) {
     cols.push_back("lat p50 (ns)");
     cols.push_back("lat p99 (ns)");
@@ -571,6 +575,13 @@ int main(int argc, char** argv) {
                                     fmt_double(r.mean_inbox_batch, 2),
                                     fmt_double(r.allocs_per_invocation, 3),
                                     fmt_double(r.arena_recycle_frac * 100.0, 1) + "%"};
+    // Most kernels never touch the location cache (no migrations): print "-"
+    // rather than a 0/0 that reads as "exercised and always missed".
+    const std::uint64_t loc_traffic = r.loc_cache_hits + r.loc_cache_misses;
+    row.push_back(loc_traffic ? fmt_double(100.0 * static_cast<double>(r.loc_cache_hits) /
+                                               static_cast<double>(loc_traffic),
+                                           1) + "%"
+                              : "-");
     if (metrics) {
       row.push_back(r.have_latency ? fmt_count(r.lat_p50_ns) : "-");
       row.push_back(r.have_latency ? fmt_count(r.lat_p99_ns) : "-");

@@ -404,6 +404,8 @@ Ids register_em3d(MethodRegistry& reg, const Params& params, std::size_t nodes) 
   d.par = get_par;
   d.frame_slots = 0;
   d.arg_count = 1;
+  d.class_id = 1;  // NodeContainer
+  d.reads = {"value"};
   ids.get_value = g_get = reg.declare(d);
 
   d = MethodDecl{};
@@ -412,6 +414,8 @@ Ids register_em3d(MethodRegistry& reg, const Params& params, std::size_t nodes) 
   d.par = recv_par;
   d.frame_slots = 0;
   d.arg_count = 3;
+  d.class_id = 1;
+  d.writes = {"inbox"};
   ids.recv_value = g_recv = reg.declare(d);
 
   d = MethodDecl{};
@@ -420,6 +424,9 @@ Ids register_em3d(MethodRegistry& reg, const Params& params, std::size_t nodes) 
   d.par = combine_par;
   d.frame_slots = 0;
   d.arg_count = 1;
+  d.class_id = 1;
+  d.reads = {"inbox", "weights"};
+  d.writes = {"value"};
   ids.combine_node = g_combine = reg.declare(d);
 
   d = MethodDecl{};
@@ -429,6 +436,9 @@ Ids register_em3d(MethodRegistry& reg, const Params& params, std::size_t nodes) 
   d.frame_slots = static_cast<std::uint16_t>(kIn + params.degree);
   d.arg_count = 1;
   d.blocks_locally = true;
+  d.class_id = 1;
+  d.reads = {"srcs", "weights"};
+  d.writes = {"value"};
   ids.compute_pull = g_pull = reg.declare(d);
   reg.add_callee(g_pull, g_get);
 
@@ -439,6 +449,8 @@ Ids register_em3d(MethodRegistry& reg, const Params& params, std::size_t nodes) 
   d.frame_slots = 0;
   d.arg_count = 1;
   d.variadic = true;
+  d.class_id = 1;
+  d.writes = {"inbox"};
   ids.fwd_update = g_fwd = reg.declare(d);
   reg.add_callee(g_fwd, g_fwd, /*forwards=*/true);
 
@@ -449,12 +461,37 @@ Ids register_em3d(MethodRegistry& reg, const Params& params, std::size_t nodes) 
   d.frame_slots = static_cast<std::uint16_t>(std::min<std::size_t>(kWork + max_work, 0xfff0));
   d.arg_count = 2;
   d.blocks_locally = true;
+  d.class_id = 1;  // Its target is the node's own container.
+  d.reads = {"value", "my_e", "my_h", "consumers"};
   ids.driver = g_driver = reg.declare(d);
   reg.add_callee(g_driver, g_pull);
   reg.add_callee(g_driver, g_recv);
   reg.add_callee(g_driver, g_combine);
   reg.add_callee(g_driver, g_fwd);
   reg.add_callee(g_driver, g_arrive);
+
+  // concert-race facts. Each half-step is "scatter into inboxes (or pull),
+  // arrive, combine" — the scatter↔combine conflicts on inbox/value are
+  // ordered by the phase barrier:
+  reg.add_barrier_separation(g_driver, g_recv, g_combine);
+  reg.add_barrier_separation(g_driver, g_fwd, g_combine);
+  reg.add_barrier_separation(g_driver, g_pull, g_combine);
+  // Within one wave the remaining conflicts are benign:
+  //  * recv/fwd both write disjoint planned inbox slots (one per dependency);
+  //  * pull waves write only the active half's values while get reads the
+  //    other half (bipartite E/H graph), and each node is pulled once;
+  //  * combine targets each node exactly once per wave;
+  //  * the drivers' value reads happen while staging the scatter of their own
+  //    half — the same wave whose writers (pull never coexists with a scatter
+  //    wave; combine is behind the barrier) touch the opposite half.
+  reg.add_commutes(g_recv, g_recv);
+  reg.add_commutes(g_recv, g_fwd);
+  reg.add_commutes(g_fwd, g_fwd);
+  reg.add_commutes(g_pull, g_pull);
+  reg.add_commutes(g_pull, g_get);
+  reg.add_commutes(g_combine, g_combine);
+  reg.add_commutes(g_driver, g_pull);
+  reg.add_commutes(g_driver, g_combine);
 
   return ids;
 }

@@ -452,6 +452,8 @@ Ids register_md(MethodRegistry& reg, const Params& params, std::size_t nodes) {
   d.par = cache_par;
   d.frame_slots = 0;
   d.arg_count = 4;
+  d.class_id = 1;  // Container
+  d.writes = {"cache"};
   ids.cache_coords = g_cache = reg.declare(d);
 
   d = MethodDecl{};
@@ -460,6 +462,8 @@ Ids register_md(MethodRegistry& reg, const Params& params, std::size_t nodes) {
   d.par = get_coord_par;
   d.frame_slots = 0;
   d.arg_count = 2;
+  d.class_id = 1;
+  d.reads = {"pos"};
   ids.get_coord = g_get_coord = reg.declare(d);
 
   d = MethodDecl{};
@@ -469,6 +473,8 @@ Ids register_md(MethodRegistry& reg, const Params& params, std::size_t nodes) {
   d.frame_slots = 0;
   d.arg_count = 1;
   d.multi_return = 3;
+  d.class_id = 1;
+  d.reads = {"pos"};
   ids.fetch_coords = g_fetch_coords = reg.declare(d);
   g_batched_fetch = params.batched_fetch;
 
@@ -478,6 +484,8 @@ Ids register_md(MethodRegistry& reg, const Params& params, std::size_t nodes) {
   d.par = add_force_par;
   d.frame_slots = 0;
   d.arg_count = 4;
+  d.class_id = 1;
+  d.writes = {"force"};
   ids.add_force = g_add_force = reg.declare(d);
 
   d = MethodDecl{};
@@ -487,6 +495,9 @@ Ids register_md(MethodRegistry& reg, const Params& params, std::size_t nodes) {
   d.frame_slots = kC + 3;
   d.arg_count = 2;
   d.blocks_locally = true;  // cache misses fetch remote coordinates
+  d.class_id = 1;
+  d.reads = {"pos", "cache"};
+  d.writes = {"force", "combine", "cache"};
   ids.pair_force = g_pair = reg.declare(d);
   reg.add_callee(g_pair, g_get_coord);
   reg.add_callee(g_pair, g_fetch_coords);
@@ -499,11 +510,35 @@ Ids register_md(MethodRegistry& reg, const Params& params, std::size_t nodes) {
       std::min<std::size_t>(kWork + max_work, 0xfff0));
   d.arg_count = 0;
   d.blocks_locally = true;
+  d.class_id = 1;  // Its target is the node's own container.
+  d.reads = {"pos", "pushes", "pairs"};
+  d.writes = {"combine"};
   ids.driver = g_driver = reg.declare(d);
   reg.add_callee(g_driver, g_cache);
   reg.add_callee(g_driver, g_pair);
   reg.add_callee(g_driver, g_add_force);
   reg.add_callee(g_driver, g_arrive);
+
+  // concert-race facts. MD-Force deliberately has NO barrier_separated claim:
+  // coordinate pushes are reactive (no reply) and may straggle past the phase
+  // barrier by design — pair_force's cache-miss path re-fetches authoritative
+  // coordinates, so cache staleness is absorbed, not ordered away. Every
+  // conflicting pair is annotated commutative instead:
+  //  * cache pushes write disjoint planned slots (and are idempotent per
+  //    step: the pushed coordinate equals what a miss would fetch);
+  //  * force updates — local accumulation in pair_force and remote add_force
+  //    flushes alike — are pure `+=` increments, the showcase commutative
+  //    effect; combine-buffer accumulation is the same shape;
+  //  * the driver clears its own combine buffer only after the post-flush
+  //    barrier retired every pair wave and add_force of the generation, and
+  //    drivers are replicated one per node, each touching its own container.
+  reg.add_commutes(g_cache, g_cache);
+  reg.add_commutes(g_cache, g_pair);
+  reg.add_commutes(g_add_force, g_add_force);
+  reg.add_commutes(g_add_force, g_pair);
+  reg.add_commutes(g_pair, g_pair);
+  reg.add_commutes(g_driver, g_pair);
+  reg.add_commutes(g_driver, g_driver);
 
   return ids;
 }

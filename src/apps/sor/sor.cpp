@@ -194,6 +194,8 @@ Ids register_sor(MethodRegistry& reg, const Params& params) {
   d.par = get_par;
   d.frame_slots = 0;
   d.arg_count = 0;
+  d.class_id = 1;  // Cell
+  d.reads = {"value"};
   ids.get_value = g_get = reg.declare(d);
 
   d = MethodDecl{};
@@ -202,6 +204,9 @@ Ids register_sor(MethodRegistry& reg, const Params& params) {
   d.par = update_par;
   d.frame_slots = 0;
   d.arg_count = 0;
+  d.class_id = 1;  // Cell
+  d.reads = {"next"};
+  d.writes = {"value"};
   ids.update_cell = g_update = reg.declare(d);
 
   d = MethodDecl{};
@@ -211,6 +216,9 @@ Ids register_sor(MethodRegistry& reg, const Params& params) {
   d.frame_slots = kN + 4;
   d.arg_count = 0;
   d.blocks_locally = true;  // stencil reads may target remote cells
+  d.class_id = 1;           // Cell
+  d.reads = {"nb"};
+  d.writes = {"next"};
   ids.compute_cell = g_compute = reg.declare(d);
   reg.add_callee(g_compute, g_get);
 
@@ -221,11 +229,20 @@ Ids register_sor(MethodRegistry& reg, const Params& params) {
   d.frame_slots = static_cast<std::uint16_t>(kCells + max_interior_cells_per_node(params));
   d.arg_count = 1;
   d.blocks_locally = true;
+  d.class_id = 2;  // Driver (one per node; reads its cell list only)
+  d.reads = {"interior"};
   ids.driver = g_driver = reg.declare(d);
   reg.add_callee(g_driver, g_compute);
   reg.add_callee(g_driver, g_update);
   reg.add_callee(g_driver, ids.barrier.arrive);
   reg.add_callee(g_driver, ids.tree.arrive);
+
+  // concert-race facts. The red/black value↔next conflicts (get/compute vs
+  // update) are ordered by the driver's phase barrier; within one wave each
+  // cell is spawned exactly once, so same-method pairs target distinct cells.
+  reg.add_barrier_separation(g_driver, g_compute, g_update);
+  reg.add_commutes(g_compute, g_compute);
+  reg.add_commutes(g_update, g_update);
 
   return ids;
 }

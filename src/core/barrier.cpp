@@ -51,8 +51,14 @@ BarrierMethods register_barrier_methods(MethodRegistry& reg) {
   d.frame_slots = 0;
   d.arg_count = 0;
   d.uses_continuation = true;  // the whole point of the barrier
+  d.class_id = 1001;           // BarrierState (concert-race aliasing)
+  d.reads = {"expected"};
+  d.writes = {"waiters", "generation"};
   BarrierMethods m;
   m.arrive = reg.declare(std::move(d));
+  // Arrivals commute: each appends one waiter and the release fires on the
+  // count, whichever arrival lands last.
+  reg.add_commutes(m.arrive, m.arrive);
   return m;
 }
 

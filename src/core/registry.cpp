@@ -32,6 +32,34 @@ void MethodRegistry::add_callee(MethodId m, MethodId callee, bool forwards) {
   if (forwards) methods_[m].forwards_to.push_back(callee);
 }
 
+void MethodRegistry::add_commutes(MethodId a, MethodId b) {
+  CONCERT_CHECK(!finalized_, "registry already finalized");
+  CONCERT_CHECK(a < methods_.size() && b < methods_.size(),
+                "add_commutes: (" << a << ", " << b << ") references an unregistered method ("
+                                  << methods_.size() << " declared)");
+  methods_[a].commutes_with.push_back(b);
+  if (a != b) methods_[b].commutes_with.push_back(a);
+}
+
+void MethodRegistry::add_barrier_separation(MethodId m, MethodId c1, MethodId c2) {
+  CONCERT_CHECK(!finalized_, "registry already finalized");
+  CONCERT_CHECK(m < methods_.size() && c1 < methods_.size() && c2 < methods_.size(),
+                "add_barrier_separation: (" << m << ", " << c1 << ", " << c2
+                                            << ") references an unregistered method ("
+                                            << methods_.size() << " declared)");
+  // The claim only makes sense for waves the method itself spawns: both
+  // phases must be declared call edges of m, or the "barrier between them"
+  // is about someone else's body.
+  const std::vector<MethodId>& callees = methods_[m].callees;
+  for (MethodId c : {c1, c2}) {
+    bool found = false;
+    for (MethodId e : callees) found = found || e == c;
+    CONCERT_CHECK(found, "add_barrier_separation: " << methods_[c].name << " is not a callee of "
+                                                    << methods_[m].name);
+  }
+  methods_[m].barrier_separated.emplace_back(c1, c2);
+}
+
 void MethodRegistry::seal() {
   CONCERT_CHECK(!finalized_, "registry finalized twice");
   analyze_schemas(methods_);

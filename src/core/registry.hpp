@@ -83,6 +83,28 @@ struct MethodDecl {
   bool uses_continuation = false; ///< Body may store its continuation or forward it off-node.
   std::vector<MethodId> callees;  ///< Stack call sites (for the blocking analysis).
   std::vector<MethodId> forwards_to;  ///< Callees that receive this method's continuation.
+  /// concert-race (verify/race.hpp): declared data effects over named fields
+  /// of the *target object*. Purely analysis facts, like class_id — the
+  /// runtime never consults them. A method with empty read AND write sets
+  /// opts out of the racing-pair analysis entirely (the seed apps predate
+  /// effect declarations), so registering effects is incremental per class.
+  std::vector<std::string> reads;
+  std::vector<std::string> writes;
+  /// Racing-pair suppression: methods whose deliveries provably commute with
+  /// this one's despite conflicting effect sets (e.g. both only accumulate
+  /// `+=` increments, or each wave provably targets distinct objects). Kept
+  /// symmetric by MethodRegistry::add_commutes. Suppresses both the static
+  /// RacingPair/NonCommutativeDelivery diagnostics and the dynamic
+  /// vector-clock sanitizer's RacyDelivery violation for the pair.
+  std::vector<MethodId> commutes_with;
+  /// Happens-before facts: pairs (c1, c2) of this method's callees whose
+  /// spawn waves are always separated by a full barrier inside this method's
+  /// body (wave of c1, arrive, wave of c2). The race analysis then treats
+  /// every method reachable only through c1 as ordered before every method
+  /// reachable only through c2. Declared via add_barrier_separation; the
+  /// dynamic sanitizer cross-checks the claim (an observed unordered delivery
+  /// of a "separated" pair is an UnorderedNotFlagged violation).
+  std::vector<std::pair<MethodId, MethodId>> barrier_separated;
 };
 
 /// Registry entry after analysis.
@@ -135,6 +157,16 @@ class MethodRegistry {
 
   /// Adds a call edge m -> callee; `forwards` marks continuation forwarding.
   void add_callee(MethodId m, MethodId callee, bool forwards = false);
+
+  /// Declares that deliveries of `a` and `b` to the same object commute
+  /// (MethodDecl::commutes_with). Symmetric; a == b annotates a method as
+  /// commuting with itself (replicated waves over distinct objects, or pure
+  /// accumulation).
+  void add_commutes(MethodId a, MethodId b);
+
+  /// Declares that inside `m`'s body the spawn waves of callees `c1` and `c2`
+  /// are separated by a full barrier (MethodDecl::barrier_separated).
+  void add_barrier_separation(MethodId m, MethodId c1, MethodId c2);
 
   /// Runs the schema-selection analysis and builds the per-mode flat dispatch
   /// tables. Must be called exactly once, after which the registry is

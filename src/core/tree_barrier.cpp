@@ -96,19 +96,42 @@ TreeBarrierMethods register_tree_barrier_methods(MethodRegistry& reg) {
   d.seq = arrive_seq;
   d.par = arrive_par;
   d.uses_continuation = true;
+  d.class_id = 1002;  // TreeBarrierNode (concert-race aliasing)
+  d.reads = {"local_expected", "parent", "children"};
+  d.writes = {"waiters", "pending", "generation"};
   m.arrive = g_arrive = reg.declare(d);
 
   d = MethodDecl{};
   d.name = "tree_barrier.notify";
   d.seq = notify_seq;
   d.par = notify_par;
+  d.class_id = 1002;
+  d.reads = {"parent", "children", "local_expected"};
+  d.writes = {"waiters", "pending", "generation"};
   m.notify = g_notify = reg.declare(d);
 
   d = MethodDecl{};
   d.name = "tree_barrier.release";
   d.seq = release_seq;
   d.par = release_par;
+  d.class_id = 1002;
+  d.reads = {"children"};
+  d.writes = {"waiters", "pending", "generation"};
   m.release = g_release = reg.declare(d);
+
+  // The barrier IS the synchronization primitive, so its own state updates
+  // are ordered by its protocol, not by an outer barrier: arrivals and child
+  // notifications commute (each decrements pending; release fires on zero,
+  // whichever lands last), and a release reaches a node only after the
+  // parent joined every notify of the generation — so release is causally
+  // ordered behind every arrive/notify it could conflict with, and two
+  // releases to one node are a full generation apart.
+  reg.add_commutes(m.arrive, m.arrive);
+  reg.add_commutes(m.arrive, m.notify);
+  reg.add_commutes(m.notify, m.notify);
+  reg.add_commutes(m.release, m.arrive);
+  reg.add_commutes(m.release, m.notify);
+  reg.add_commutes(m.release, m.release);
   return m;
 }
 

@@ -79,6 +79,15 @@ struct MachineConfig {
   /// the caller's stack. Off by default — with it off, dispatch tables, spec
   /// spans and therefore every simulated clock are bit-identical to the seed.
   bool specialize_edges = false;
+  /// Delivery-order shuffle (concert-race; deterministic engine only): when
+  /// nonzero, SimNetwork picks a seeded pseudo-random message among all
+  /// channel-FIFO-eligible deliveries (deliver_at within the receiver's
+  /// current horizon) instead of strict (deliver_at, seq) order — the
+  /// adversarial schedules a real interconnect is allowed to produce, so
+  /// latent delivery-order races manifest under test. Each seed is itself
+  /// fully deterministic. 0 (default) keeps the strict order, bit-identical
+  /// to every pre-existing run; per-channel FIFO holds either way.
+  std::uint64_t shuffle_seed = 0;
 };
 
 class Machine {

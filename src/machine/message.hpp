@@ -46,6 +46,13 @@ struct Message {
   /// re-recorded by the receiver so MsgSend/MsgRecv export as one Perfetto
   /// flow. 0 when tracing is off. Outside the wire-size accounting.
   std::uint64_t cause = 0;
+  /// Vector-clock stamp (concert-race): the sender's per-node logical clock,
+  /// ticked and copied at send when MachineConfig::verify is on; joined into
+  /// the receiver's clock at delivery so the sanitizer can tell ordered from
+  /// concurrent same-object deliveries. Empty when verification is off.
+  /// Outside the wire-size accounting, like `cause` (a real transport would
+  /// piggyback O(nodes) words per message only under the sanitizer).
+  std::vector<std::uint32_t> vclock;
 
   bool is_bundle() const { return kind == MsgKind::Bundle; }
   /// True if this message (or any bundled element) is an Invoke — bundles

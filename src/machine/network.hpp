@@ -12,6 +12,7 @@
 
 #include "machine/cost_model.hpp"
 #include "machine/message.hpp"
+#include "support/rng.hpp"
 
 namespace concert {
 
@@ -30,6 +31,18 @@ class SimNetwork {
   /// bundle's element vector never gets copied on delivery). Must be
   /// non-empty.
   Message pop_for(NodeId dst);
+
+  /// Shuffle mode only: pops a seeded pseudo-random message for `dst` among
+  /// the eligible candidates — per-channel heads (FIFO preserved) whose
+  /// deliver_at is within `horizon` (the time the receiver would deliver at,
+  /// so no message is ever delivered "early"). Must be non-empty.
+  Message pop_for_shuffled(NodeId dst, std::uint64_t horizon);
+
+  /// Enables delivery-order shuffling (MachineConfig::shuffle_seed). Must be
+  /// called before any inject — the queues switch from heaps to plain
+  /// vectors.
+  void set_shuffle(std::uint64_t seed);
+  bool shuffled() const { return shuffle_; }
 
   bool empty_for(NodeId dst) const;
 
@@ -55,6 +68,11 @@ class SimNetwork {
   std::vector<std::uint64_t> channel_last_;  ///< [src*n+dst] last deliver_at, for FIFO.
   std::uint64_t next_seq_ = 0;
   std::size_t in_flight_ = 0;
+  /// Shuffle mode (concert-race): queues are plain unordered vectors and
+  /// pop_for_shuffled draws from `shuffle_rng_`. Off by default — the heap
+  /// path above is untouched, keeping strict runs bit-identical.
+  bool shuffle_ = false;
+  SplitMix64 shuffle_rng_{0};
 };
 
 }  // namespace concert

@@ -25,7 +25,10 @@ FallbackPolicy Node::fallback_policy() const { return machine_.config().policy; 
 const FlushPolicy& Node::comms_policy() const { return machine_.config().flush_policy; }
 bool Node::futures_in_context() const { return machine_.config().futures_in_context; }
 
-void Node::init_comms(std::size_t nodes) { outbox_.reset(nodes); }
+void Node::init_comms(std::size_t nodes) {
+  outbox_.reset(nodes);
+  verifier.init_vclock(id_, nodes);
+}
 
 void Node::bind_dispatch() {
   MethodRegistry& reg = registry();
@@ -231,6 +234,10 @@ void Node::send(Message msg) {
   // Causal id for the send->recv flow: drawn once, travels with the message
   // (and through any bundle), re-recorded by the receiver.
   if (tracer.enabled() && msg.cause == 0) msg.cause = machine_.next_trace_cause();
+  // Vector-clock stamp (concert-race): taken at the *logical* send, so a
+  // staged message carries its staging-time causality and flush_outbox never
+  // re-stamps. No-op (and no allocation) unless verification is on.
+  verifier.stamp_send(msg.vclock);
   if (!comms_policy().buffered()) {
     // Immediate: fixed software overhead plus processor-driven injection of
     // each packet (on the CM-5 every extra packet costs nearly another
@@ -325,6 +332,15 @@ void Node::deliver(Message& msg) {
 }
 
 void Node::deliver_element(Message& msg) {
+  // Delivery-order sanitizer (concert-race): join the sender's stamp into
+  // this node's clock, and probe Invoke deliveries per target object for
+  // unordered (concurrent-stamped) method pairs.
+  if (verifier.enabled() && !msg.vclock.empty()) {
+    verifier.join_delivery(msg.vclock);
+    if (msg.kind == MsgKind::Invoke && msg.target.valid()) {
+      verifier.record_object_delivery(msg.target.pack(), msg.method, msg.vclock);
+    }
+  }
   if (msg.kind == MsgKind::Reply) {
     // Replies may carry several values, filling consecutive slots (the
     // multiple-return-values extension).

@@ -3,7 +3,9 @@
 namespace concert {
 
 SimMachine::SimMachine(std::size_t nodes, MachineConfig config)
-    : Machine(nodes, config), network_(nodes, config_.costs) {}
+    : Machine(nodes, config), network_(nodes, config_.costs) {
+  if (config_.shuffle_seed != 0) network_.set_shuffle(config_.shuffle_seed);
+}
 
 void SimMachine::route(Node& from, Message msg) {
   network_.inject(std::move(msg), from.clock());
@@ -59,7 +61,11 @@ void SimMachine::run_until_quiescent() {
 
     Node& nd = *nodes_[best_node];
     if (best_is_msg) {
-      Message msg = network_.pop_for(best_node);
+      // Shuffle mode (concert-race) may deliver any channel head within the
+      // horizon instead of the strict earliest; `best_t` is exactly the time
+      // this delivery happens at, so nothing is delivered early.
+      Message msg = network_.shuffled() ? network_.pop_for_shuffled(best_node, best_t)
+                                        : network_.pop_for(best_node);
       nd.advance_clock_to(msg.deliver_at);
       nd.deliver(msg);
     } else if (best_is_flush) {

@@ -26,6 +26,7 @@
 // both, so pools self-balance without any locking).
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -194,9 +195,13 @@ class SlabArena {
 };
 
 /// Recycler for std::vector<T> buffers (message payloads). Released buffers
-/// keep their capacity; acquire() hands the most recently released one back
-/// (warmest cache lines first). A cap bounds the pool so one-sided flows
-/// cannot hoard memory; trim() releases excess at quiescence.
+/// keep their capacity and are bucketed by power-of-two capacity class, so a
+/// sized request goes straight to a bucket whose every entry fits instead of
+/// scanning a mixed LIFO stack. Payload sizes are bimodal (single-value
+/// replies vs. row-sized bulk); with one stack, a burst of small releases
+/// buries the big buffers and a row-sized acquire either walks past them or
+/// gives up and mallocs. A cap bounds the pool so one-sided flows cannot
+/// hoard memory; trim() releases excess at quiescence.
 template <typename T>
 class BufferPool {
  public:
@@ -205,60 +210,93 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Moves a pooled buffer into `out` (cleared, capacity kept). Returns
-  /// false — leaving `out` untouched — when the pool is empty.
+  /// Moves a pooled buffer of at least `min_capacity` elements into `out`
+  /// (cleared, capacity kept). Returns false — leaving `out` untouched —
+  /// when no pooled buffer fits; the caller allocates fresh and the pool
+  /// keeps its (too-small) buffers for later, smaller requests. Handing back
+  /// an undersized buffer would be worse than a miss: the caller's reserve()
+  /// reallocates anyway and the pooled capacity is freed, not reused.
   ///
-  /// `min_capacity` asks for a buffer that can hold that many elements
-  /// without growing: the newest few entries are scanned for one big enough
-  /// (payload sizes are bimodal — single-value replies vs. row-sized bulk —
-  /// and handing a 1-slot buffer to a row-sized send just moves the malloc
-  /// into reserve()). Falls back to plain LIFO when no scanned buffer fits;
-  /// the scan is bounded so acquire stays O(1).
+  /// `min_capacity == 0` takes the newest buffer from the smallest populated
+  /// class, preserving large capacities for the requests that need them.
   bool try_acquire(std::vector<T>& out, std::size_t min_capacity = 0) {
-    if (pool_.empty()) return false;
-    std::size_t pick = pool_.size() - 1;
-    if (min_capacity > 0 && pool_[pick].capacity() < min_capacity) {
-      const std::size_t floor = pool_.size() > kFitScan ? pool_.size() - kFitScan : 0;
-      for (std::size_t i = pool_.size(); i-- > floor;) {
-        if (pool_[i].capacity() >= min_capacity) {
-          pick = i;
-          break;
-        }
+    if (total_ == 0) return false;
+    if (min_capacity == 0) {
+      for (auto& cls : classes_) {
+        if (!cls.empty()) return take(cls, cls.size() - 1, out);
       }
+      return false;
     }
-    out = std::move(pool_[pick]);
-    if (pick != pool_.size() - 1) pool_[pick] = std::move(pool_.back());
-    pool_.pop_back();
+    // The request's own class spans [2^c, 2^(c+1)), so entries there may or
+    // may not fit — scan the newest few. Every class above is all-fits.
+    auto& home = classes_[class_of(min_capacity)];
+    const std::size_t floor = home.size() > kFitScan ? home.size() - kFitScan : 0;
+    for (std::size_t i = home.size(); i-- > floor;) {
+      if (home[i].capacity() >= min_capacity) return take(home, i, out);
+    }
+    for (std::size_t c = class_of(min_capacity) + 1; c < kClasses; ++c) {
+      if (!classes_[c].empty()) return take(classes_[c], classes_[c].size() - 1, out);
+    }
+    return false;
+  }
+
+  /// Returns a buffer to its capacity class. Returns false when the pool is
+  /// full (the buffer is dropped and its memory freed normally).
+  bool release(std::vector<T>&& buf) {
+    if (total_ >= max_pooled_) return false;
+    classes_[class_of(buf.capacity())].push_back(std::move(buf));
+    ++total_;
+    return true;
+  }
+
+  /// Frees buffers beyond `keep` (quiescence housekeeping), smallest classes
+  /// first — large capacities are the expensive ones to rebuild. Returns how
+  /// many were dropped.
+  std::size_t trim(std::size_t keep) {
+    std::size_t dropped = 0;
+    for (auto& cls : classes_) {
+      while (!cls.empty() && total_ > keep) {
+        cls.pop_back();
+        --total_;
+        ++dropped;
+      }
+      if (total_ <= keep) break;
+    }
+    return dropped;
+  }
+
+  std::size_t size() const { return total_; }
+  std::size_t capacity_limit() const { return max_pooled_; }
+
+ private:
+  /// Capacity classes: class c holds capacities in [2^c, 2^(c+1)), with 0-
+  /// and 1-element buffers in class 0 and everything >= 2^(kClasses-1) lumped
+  /// into the top class.
+  static constexpr std::size_t kClasses = 20;
+  /// How many of the newest same-class buffers try_acquire scans for an
+  /// exact fit before escalating to the (all-fits) classes above.
+  static constexpr std::size_t kFitScan = 8;
+
+  static std::size_t class_of(std::size_t cap) {
+    std::size_t c = 0;
+    while (cap > 1 && c + 1 < kClasses) {
+      cap >>= 1;
+      ++c;
+    }
+    return c;
+  }
+
+  bool take(std::vector<std::vector<T>>& cls, std::size_t i, std::vector<T>& out) {
+    out = std::move(cls[i]);
+    if (i != cls.size() - 1) cls[i] = std::move(cls.back());
+    cls.pop_back();
+    --total_;
     out.clear();
     return true;
   }
 
-  /// Returns a buffer to the pool. Returns false when the pool is full (the
-  /// buffer is dropped and its memory freed normally).
-  bool release(std::vector<T>&& buf) {
-    if (pool_.size() >= max_pooled_) return false;
-    pool_.push_back(std::move(buf));
-    return true;
-  }
-
-  /// Frees buffers beyond `keep` (quiescence housekeeping). Returns how many
-  /// were dropped.
-  std::size_t trim(std::size_t keep) {
-    if (pool_.size() <= keep) return 0;
-    const std::size_t dropped = pool_.size() - keep;
-    pool_.resize(keep);
-    return dropped;
-  }
-
-  std::size_t size() const { return pool_.size(); }
-  std::size_t capacity_limit() const { return max_pooled_; }
-
- private:
-  /// How many of the newest pooled buffers try_acquire scans for a
-  /// capacity fit before settling for plain LIFO.
-  static constexpr std::size_t kFitScan = 8;
-
-  std::vector<std::vector<T>> pool_;
+  std::array<std::vector<std::vector<T>>, kClasses> classes_{};
+  std::size_t total_ = 0;
   std::size_t max_pooled_;
 };
 

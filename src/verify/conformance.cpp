@@ -6,6 +6,7 @@
 #include "core/registry.hpp"
 #include "machine/machine.hpp"
 #include "support/panic.hpp"
+#include "verify/race.hpp"
 
 namespace concert::verify {
 
@@ -33,6 +34,8 @@ const char* violation_kind_name(ViolationKind k) {
     case ViolationKind::ReentrantAcquire: return "reentrant-acquire";
     case ViolationKind::LockHeldAtQuiescence: return "lock-held-at-quiescence";
     case ViolationKind::SiteSpecBlocked: return "site-spec-blocked";
+    case ViolationKind::RacyDelivery: return "racy-delivery";
+    case ViolationKind::UnorderedNotFlagged: return "unordered-not-flagged";
   }
   return "?";
 }
@@ -60,10 +63,49 @@ ConformanceReport check_conformance(const Machine& mach) {
   const ExecMode mode = mach.config().mode;
 
   ConformanceReport report;
+  // Delivery-order cross-check (concert-race): every *observed* unordered
+  // same-object delivery pair must either be benign (disjoint/read-only
+  // effects, or an explicit commutes_with annotation) or have been flagged by
+  // the static racing-pair analysis. A conflicting pair the analysis claims
+  // ordered means a barrier_separated declaration lied.
+  const RaceAnalysis races = analyze_races(reg.methods());
+
   for (NodeId n = 0; n < mach.node_count(); ++n) {
     const VerifyRecorder& rec = mach.node(n).verifier;
     if (!rec.enabled()) continue;
     report.totals += rec.stats();
+
+    {
+      // Deterministic order: the recorder's pair set is hash-ordered.
+      std::vector<std::uint64_t> unordered(rec.observed_unordered().begin(),
+                                           rec.observed_unordered().end());
+      std::sort(unordered.begin(), unordered.end());
+      for (std::uint64_t k : unordered) {
+        const MethodId a = VerifyRecorder::key_caller(k);
+        const MethodId b = VerifyRecorder::key_callee(k);
+        if (a >= reg.size() || b >= reg.size()) continue;
+        const MethodInfo& ia = reg.info(a);
+        const MethodInfo& ib = reg.info(b);
+        const std::vector<std::string> fields = conflicting_fields(ia, ib);
+        if (fields.empty()) continue;  // Disjoint, read-only, or effects undeclared.
+        if (commutes_declared(ia, b) || commutes_declared(ib, a)) continue;
+        std::ostringstream os;
+        os << name_of(reg, a) << " and " << name_of(reg, b)
+           << " were delivered to one object from concurrent sends (vector clocks "
+           << "incomparable), and their effects conflict on ";
+        for (std::size_t i = 0; i < fields.size(); ++i) os << (i ? ", " : "") << fields[i];
+        if (races.flagged(a, b)) {
+          os << " (the static racing-pair analysis flags this pair — annotate commutes_with "
+             << "or order the sends)";
+          report.violations.push_back(Violation{ViolationKind::RacyDelivery, n, a, b, os.str()});
+        } else {
+          os << " — yet the static analysis believes the pair is ordered (an unsound "
+             << "barrier_separated declaration?)";
+          report.violations.push_back(
+              Violation{ViolationKind::UnorderedNotFlagged, n, a, b, os.str()});
+        }
+      }
+    }
 
     for (std::uint64_t k : rec.observed_calls()) {
       const MethodId caller = VerifyRecorder::key_caller(k);

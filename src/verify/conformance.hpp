@@ -43,6 +43,9 @@ enum class ViolationKind : std::uint8_t {
   ReentrantAcquire,       ///< Deferred invocation whose lock holder is its own ancestor.
   LockHeldAtQuiescence,   ///< Implicit lock never released (leaked bracket / quarantined deadlock).
   SiteSpecBlocked,        ///< Site-NB-classified method blocked under edge specialization.
+  // concert-race: vector-clock delivery-order sanitizer.
+  RacyDelivery,           ///< Observed unordered conflicting pair the static pass also flags.
+  UnorderedNotFlagged,    ///< Observed unordered conflicting pair the static pass claims ordered.
 };
 
 const char* violation_kind_name(ViolationKind k);

@@ -8,6 +8,7 @@
 
 #include "core/analysis.hpp"
 #include "support/panic.hpp"
+#include "verify/race.hpp"
 
 namespace concert::verify {
 
@@ -113,6 +114,8 @@ const char* lint_code_name(LintCode c) {
     case LintCode::LockOrderCycle: return "lock-order-cycle";
     case LintCode::SpecEdgeInvalid: return "spec-edge-invalid";
     case LintCode::SpecUnsound: return "spec-unsound";
+    case LintCode::RacingPair: return "racing-pair";
+    case LintCode::NonCommutativeDelivery: return "non-commutative-delivery";
   }
   return "?";
 }
@@ -245,6 +248,13 @@ LintReport lint_methods(const std::vector<MethodInfo>& methods) {
     const bool self = cycle.holder == cycle.reacquirer;
     add(report, self ? LintCode::SelfDeadlock : LintCode::LockOrderCycle, Severity::Error,
         cycle.holder, cycle.reacquirer, format_lock_cycle(methods, cycle));
+  }
+
+  // --- racing-pair / commutativity analysis (concert-race) -------------------
+  for (const RacePair& race : analyze_races(methods).races) {
+    add(report,
+        race.both_atomic ? LintCode::NonCommutativeDelivery : LintCode::RacingPair,
+        Severity::Error, race.a, race.b, format_race(methods, race));
   }
 
   // --- call-site specialization cross-check (concert-analyze) ----------------

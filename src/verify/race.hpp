@@ -1,0 +1,89 @@
+// concert-race: static commutativity / racing-pair analysis.
+//
+// The machine guarantees nothing about delivery order beyond per-channel
+// FIFO (network.hpp), so two invocations sent from concurrent sites may
+// arrive at one object in either order. That is harmless exactly when their
+// effects commute. This pass finds the pairs where it is NOT harmless:
+//
+//   * both methods may target the same class (class_id aliasing, shared with
+//     the deadlock detector),
+//   * their declared effect sets conflict (write/write or write/read over
+//     MethodDecl::reads/writes — methods with no declared effects opt out),
+//   * no declared happens-before path separates them (barrier_separated),
+//   * and no commutes_with annotation vouches for the pair.
+//
+// Each surviving pair becomes one of two diagnostics (lint.hpp):
+//
+//   * RacingPair — at least one side can suspend mid-body (blocks_locally
+//     anywhere in its stack region), so the pair's field accesses can
+//     *interleave*, not just reorder. The classic atomicity violation of
+//     Kwon & Kang's subprogram-level model.
+//   * NonCommutativeDelivery — both sides run atomically (run-to-completion
+//     or implicitly locked), so each body is safe, but the pair's delivery
+//     order changes the result.
+//
+// The dynamic half lives in the VerifyRecorder (vector-clock delivery-order
+// sanitizer) and conformance.cpp, which cross-checks every *observed*
+// unordered conflicting delivery pair against this analysis: observed must
+// be a subset of statically flagged (or annotated benign).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "core/registry.hpp"
+
+namespace concert::verify {
+
+/// One statically detected racing pair (a <= b; a == b is a wave racing with
+/// its own replicas).
+struct RacePair {
+  MethodId a = kInvalidMethod;
+  MethodId b = kInvalidMethod;
+  /// The conflicting fields: writes(a) ∩ (reads(b) ∪ writes(b)) plus the
+  /// mirror image, sorted and deduplicated.
+  std::vector<std::string> fields;
+  /// True when both sides run atomically (NonCommutativeDelivery); false
+  /// when a suspension can interleave the bodies (RacingPair).
+  bool both_atomic = false;
+  /// A method from which both sides are reachable (the concurrent send
+  /// site's root), or kInvalidMethod when the pair only meets through
+  /// replicated entry points (every node runs its own root).
+  MethodId spawner = kInvalidMethod;
+  /// Shortest call-graph witnesses spawner -> a and spawner -> b (just {a}
+  /// / {b} when there is no common spawner).
+  std::vector<MethodId> witness_a;
+  std::vector<MethodId> witness_b;
+};
+
+/// The full analysis result over one registry.
+struct RaceAnalysis {
+  std::vector<RacePair> races;
+  /// Normalized (min, max) keys of `races`, sorted — the conformance
+  /// checker's observed-⊆-flagged lookup.
+  std::vector<std::uint64_t> keys;
+
+  /// Whether the (unordered) pair {a, b} was statically flagged.
+  bool flagged(MethodId a, MethodId b) const;
+};
+
+/// The conflicting fields of a pair: writes(a) ∩ (reads(b) ∪ writes(b)) ∪
+/// writes(b) ∩ reads(a), sorted/deduplicated. Empty when the effects are
+/// disjoint or read-only — or when either side declared no effects at all.
+std::vector<std::string> conflicting_fields(const MethodInfo& a, const MethodInfo& b);
+
+/// Whether `a` declares that it commutes with method id `b` (one direction is
+/// enough; MethodRegistry::add_commutes keeps the relation symmetric).
+bool commutes_declared(const MethodInfo& a, MethodId b);
+
+/// Runs the racing-pair analysis. Pure; tolerates unsealed/handmade method
+/// tables and ignores out-of-range ids (like compute_flow_facts).
+RaceAnalysis analyze_races(const std::vector<MethodInfo>& methods);
+
+/// Formats one pair in the concert-analyze witness idiom:
+///   "a ~ b [races on f1, f2]: root -> ... -> a | root -> ... -> b (why)".
+std::string format_race(const std::vector<MethodInfo>& methods, const RacePair& race);
+
+}  // namespace concert::verify

@@ -14,9 +14,11 @@
 // threaded engine needs no locks here.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "core/ids.hpp"
 
@@ -31,6 +33,9 @@ struct VerifyStats {
   std::uint64_t lock_acquires = 0;       ///< record_lock_acquire events.
   std::uint64_t lock_releases = 0;       ///< record_lock_release events.
   std::uint64_t reentrant_acquires = 0;  ///< record_reentrant_acquire events.
+  std::uint64_t vclock_sends = 0;          ///< Messages stamped at send.
+  std::uint64_t object_deliveries = 0;     ///< Invoke deliveries probed per object.
+  std::uint64_t unordered_deliveries = 0;  ///< Probes whose stamps were incomparable.
 
   VerifyStats& operator+=(const VerifyStats& o) {
     calls += o.calls;
@@ -40,6 +45,9 @@ struct VerifyStats {
     lock_acquires += o.lock_acquires;
     lock_releases += o.lock_releases;
     reentrant_acquires += o.reentrant_acquires;
+    vclock_sends += o.vclock_sends;
+    object_deliveries += o.object_deliveries;
+    unordered_deliveries += o.unordered_deliveries;
     return *this;
   }
 };
@@ -109,6 +117,80 @@ class VerifyRecorder {
     reentrants_.insert(key(holder, deferred));
   }
 
+  // ---- vector-clock delivery-order sanitizer (concert-race) ----
+  // Each node keeps one logical clock component per machine node. A send
+  // ticks the sender's own component and stamps the whole clock into the
+  // message (Message::vclock); a delivery joins the stamp back in. Two
+  // deliveries to the same object whose stamps are incomparable came from
+  // concurrent sends — the machine guaranteed nothing about their order, so
+  // the pair must commute. conformance.cpp cross-checks every such observed
+  // pair against the static race analysis (observed ⊆ flagged-or-benign).
+
+  /// Sizes the clock; called from Node::init_comms (idempotent, resets).
+  void init_vclock(NodeId self, std::size_t nodes) {
+    self_ = static_cast<std::size_t>(self);
+    vc_.assign(nodes, 0);
+  }
+
+  /// Stamps an outgoing message: ticks this node's component, copies the
+  /// clock into `out`. Leaves `out` empty when verification is off, so the
+  /// stamp costs nothing on production runs.
+  void stamp_send(std::vector<std::uint32_t>& out) {
+    if (!enabled_ || self_ >= vc_.size()) return;
+    ++vc_[self_];
+    ++stats_.vclock_sends;
+    out = vc_;
+  }
+
+  /// Joins a delivered message's stamp into this node's clock.
+  void join_delivery(const std::vector<std::uint32_t>& stamp) {
+    if (!enabled_ || stamp.empty() || self_ >= vc_.size()) return;
+    const std::size_t n = std::min(vc_.size(), stamp.size());
+    for (std::size_t i = 0; i < n; ++i) vc_[i] = std::max(vc_[i], stamp[i]);
+    ++vc_[self_];
+  }
+
+  /// Per-object delivery-order probe: compares this delivery's stamp against
+  /// the previous delivery to the same object (GlobalRef::pack()) and records
+  /// the method pair when the two are concurrent. Keeping only the last
+  /// stamp per object makes the probe O(nodes) — it catches every *adjacent*
+  /// unordered pair, which under vector-clock transitivity is exactly where
+  /// an ordering violation first becomes visible.
+  void record_object_delivery(std::uint64_t obj, MethodId method,
+                              const std::vector<std::uint32_t>& stamp) {
+    if (!enabled_ || stamp.empty()) return;
+    ++stats_.object_deliveries;
+    auto it = last_delivery_.find(obj);
+    if (it != last_delivery_.end() && vclocks_concurrent(it->second.stamp, stamp)) {
+      ++stats_.unordered_deliveries;
+      unordered_pairs_.insert(key(std::min(method, it->second.method),
+                                  std::max(method, it->second.method)));
+    }
+    LastDelivery& last = last_delivery_[obj];
+    last.method = method;
+    last.stamp = stamp;
+  }
+
+  /// Whether two stamps are incomparable (neither happened-before the other).
+  static bool vclocks_concurrent(const std::vector<std::uint32_t>& a,
+                                 const std::vector<std::uint32_t>& b) {
+    bool a_ahead = false;
+    bool b_ahead = false;
+    const std::size_t n = std::max(a.size(), b.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t av = i < a.size() ? a[i] : 0;
+      const std::uint32_t bv = i < b.size() ? b[i] : 0;
+      a_ahead = a_ahead || av > bv;
+      b_ahead = b_ahead || bv > av;
+    }
+    return a_ahead && b_ahead;
+  }
+
+  /// Observed unordered same-object delivery pairs, keyed key(min, max).
+  const std::unordered_set<std::uint64_t>& observed_unordered() const { return unordered_pairs_; }
+  /// This node's current logical clock (tests).
+  const std::vector<std::uint32_t>& vclock() const { return vc_; }
+
   const VerifyStats& stats() const { return stats_; }
   const std::unordered_set<std::uint64_t>& observed_calls() const { return calls_; }
   const std::unordered_set<std::uint64_t>& observed_forwards() const { return forwards_; }
@@ -134,6 +216,15 @@ class VerifyRecorder {
   std::unordered_set<MethodId> cont_used_;
   std::unordered_map<std::uint64_t, MethodId> held_;
   std::unordered_set<std::uint64_t> reentrants_;
+  // Vector-clock sanitizer state (concert-race).
+  struct LastDelivery {
+    MethodId method = kInvalidMethod;
+    std::vector<std::uint32_t> stamp;
+  };
+  std::size_t self_ = static_cast<std::size_t>(-1);
+  std::vector<std::uint32_t> vc_;
+  std::unordered_map<std::uint64_t, LastDelivery> last_delivery_;
+  std::unordered_set<std::uint64_t> unordered_pairs_;
 };
 
 }  // namespace concert::verify

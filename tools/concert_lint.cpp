@@ -10,12 +10,15 @@
 //   concert_lint --deadlock      only the lock-order deadlock diagnostics
 //   concert_lint --specialize    only the edge-specialization diagnostics,
 //                                plus each app's NB-at-site edge list
+//   concert_lint --races         only the concert-race commutativity
+//                                diagnostics (racing pairs)
 //   concert_lint --json          machine-readable report on stdout (CI)
 //   concert_lint --list          list known app names
 //
-// The `deadlock-demo` registry deliberately contains implicit-lock cycles
-// (it exists so the detector's witnesses can be demonstrated end to end);
-// it is linted only when named explicitly and never joins the default sweep.
+// The `deadlock-demo` and `race-demo` registries deliberately contain
+// implicit-lock cycles / racing pairs (they exist so the detectors' witnesses
+// can be demonstrated end to end); they are linted only when named explicitly
+// and never join the default sweep.
 #include <algorithm>
 #include <cstring>
 #include <functional>
@@ -91,6 +94,49 @@ void register_deadlock_demo(MethodRegistry& reg) {
   reg.add_callee(lock_c, lock_d);
 }
 
+concert::MethodId race_decl(MethodRegistry& reg, const char* name, std::uint32_t class_id,
+                            std::vector<std::string> reads, std::vector<std::string> writes,
+                            bool blocks_locally = false) {
+  concert::MethodDecl d;
+  d.name = name;
+  d.seq = demo_seq;
+  d.par = demo_par;
+  d.class_id = class_id;
+  d.reads = std::move(reads);
+  d.writes = std::move(writes);
+  d.blocks_locally = blocks_locally;
+  return reg.declare(d);
+}
+
+/// A registry seeded with the racing shapes concert-race is built for: an
+/// atomic write-write pair (NonCommutativeDelivery), an interleavable pair
+/// through a suspending body (RacingPair), a commutes_with-annotated
+/// accumulator, a barrier-separated phase pair, and a cross-class control.
+void register_race_demo(MethodRegistry& reg) {
+  // account.deposit writes the balance and runs to completion; two deposits
+  // of "balance = f(balance)" shape do not commute.
+  const auto deposit = race_decl(reg, "deposit", /*class_id=*/1, {}, {"balance"});
+  // audit_reset also writes the balance but can suspend mid-body (it fetches
+  // the remote ledger first), so deposit can interleave *inside* it.
+  const auto audit = race_decl(reg, "audit_reset", 1, {"ledger"}, {"balance"},
+                               /*blocks_locally=*/true);
+  // tally only accumulates a commutative counter — annotated benign.
+  const auto tally = race_decl(reg, "tally", 1, {}, {"count"});
+  reg.add_commutes(tally, tally);
+  // observer reads a same-named field of a *different* class — no alias.
+  (void)race_decl(reg, "observer", 2, {"balance"}, {});
+
+  // Two-phase pipeline whose stage conflict is ordered by a declared barrier.
+  const auto stage_fill = race_decl(reg, "stage_fill", 3, {}, {"buf"});
+  const auto stage_drain = race_decl(reg, "stage_drain", 3, {"buf"}, {"out"});
+
+  const auto driver = race_decl(reg, "race_driver", 4, {}, {}, /*blocks_locally=*/true);
+  for (auto callee : {deposit, audit, tally, stage_fill, stage_drain}) {
+    reg.add_callee(driver, callee);
+  }
+  reg.add_barrier_separation(driver, stage_fill, stage_drain);
+}
+
 const std::vector<App>& apps() {
   static const std::vector<App> kApps = {
       {"sor", [](MethodRegistry& reg) { concert::sor::register_sor(reg, {}); }},
@@ -107,6 +153,7 @@ const std::vector<App>& apps() {
       {"seqbench-dist",
        [](MethodRegistry& reg) { concert::seqbench::register_seqbench(reg, true); }},
       {"deadlock-demo", register_deadlock_demo, /*in_default_sweep=*/false},
+      {"race-demo", register_race_demo, /*in_default_sweep=*/false},
   };
   return kApps;
 }
@@ -114,6 +161,7 @@ const std::vector<App>& apps() {
 enum PassMask : unsigned {
   kPassDeadlock = 1u << 0,
   kPassSpecialize = 1u << 1,
+  kPassRaces = 1u << 2,
   kPassAll = ~0u,
 };
 
@@ -123,7 +171,9 @@ unsigned pass_of(LintCode c) {
     case LintCode::LockOrderCycle: return kPassDeadlock;
     case LintCode::SpecEdgeInvalid:
     case LintCode::SpecUnsound: return kPassSpecialize;
-    default: return kPassAll & ~(kPassDeadlock | kPassSpecialize);
+    case LintCode::RacingPair:
+    case LintCode::NonCommutativeDelivery: return kPassRaces;
+    default: return kPassAll & ~(kPassDeadlock | kPassSpecialize | kPassRaces);
   }
 }
 
@@ -256,12 +306,14 @@ int main(int argc, char** argv) {
       passes |= kPassDeadlock;
     } else if (std::strcmp(argv[i], "--specialize") == 0) {
       passes |= kPassSpecialize;
+    } else if (std::strcmp(argv[i], "--races") == 0) {
+      passes |= kPassRaces;
     } else if (std::strcmp(argv[i], "--list") == 0) {
       for (const App& app : apps()) std::cout << app.name << "\n";
       return 0;
     } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
       std::cout << "usage: concert_lint [--blame] [--json] [--deadlock] [--specialize] "
-                   "[--list] [app...]\n";
+                   "[--races] [--list] [app...]\n";
       return 0;
     } else {
       wanted.emplace_back(argv[i]);
