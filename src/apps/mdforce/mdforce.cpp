@@ -221,9 +221,12 @@ void apply_pair(Node& nd, NodeContainer& c, std::uint32_t i, std::uint32_t j, co
   } else {
     // Remote atom: combine the increment locally; flushed once per iteration.
     nd.charge(3);
-    auto [idx_it, fresh] = c.combine_index.try_emplace(j, c.combine.size());
-    if (fresh) c.combine.emplace_back(j, Vec3{});
-    Vec3& acc = c.combine[idx_it->second].second;
+    std::uint32_t& slot = c.combine_slot.at(j);
+    if (slot == 0) {
+      c.combine.emplace_back(j, Vec3{});
+      slot = static_cast<std::uint32_t>(c.combine.size());
+    }
+    Vec3& acc = c.combine[slot - 1].second;
     acc.x -= f.x;
     acc.y -= f.y;
     acc.z -= f.z;
@@ -399,8 +402,10 @@ void driver_par(Node& nd, Context& ctx) {
         if (!f.touch(5)) return;
         break;
       case 5:
+        // Retire the step: zero only the touched slot-directory entries and
+        // keep combine's capacity — the next iteration reuses both.
+        for (const auto& [id, acc] : c.combine) c.combine_slot[id] = 0;
         c.combine.clear();
-        c.combine_index.clear();
         f.complete(Value(1));
         return;
       default:
@@ -568,6 +573,7 @@ World build(Machine& machine, const Ids& ids, const Params& params) {
   for (NodeId nid = 0; nid < nodes; ++nid) {
     NodeContainer& c = *cs[nid];
     c.barrier = w.barrier;
+    c.combine_slot.assign(params.atoms, 0);
     c.pairs = plan.pairs[nid];
     c.owner_container.resize(params.atoms);
     for (std::uint32_t i = 0; i < params.atoms; ++i) {

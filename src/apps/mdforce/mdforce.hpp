@@ -70,7 +70,10 @@ struct NodeContainer {
   std::unordered_map<std::uint32_t, Atom> atoms;      ///< owned atoms by global id.
   std::unordered_map<std::uint32_t, Vec3> cache;      ///< remote coords.
   std::vector<std::pair<std::uint32_t, Vec3>> combine;  ///< (remote id, accumulated f).
-  std::unordered_map<std::uint32_t, std::size_t> combine_index;
+  /// Flat atom-id -> combine slot directory (0 = none, else index+1). Sized
+  /// once in build(); entries touched by a step are zeroed when the driver
+  /// retires the step, so no per-step rehash/realloc churn.
+  std::vector<std::uint32_t> combine_slot;
   std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;  ///< owner-computes worklist.
   /// Pre-push plan: (destination container, atom id) for coords this node
   /// must ship before the force phase.

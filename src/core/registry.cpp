@@ -78,6 +78,14 @@ void MethodRegistry::seal() {
       e.seq = mi.seq;
       e.par = mi.par;
       e.schema = effective_schema(static_cast<MethodId>(i), mode);
+      // Wave eligibility is a pure function of the effective schema: only a
+      // method that always completes on the stack (NB) without taking its
+      // target's lock can run as one member of a merged loop. Hybrid1's CP
+      // degradation naturally drops methods out of the wave set, and
+      // ParallelOnly never runs stack versions at all.
+      if (e.schema == Schema::NonBlocking && !mi.locks_self && mode != ExecMode::ParallelOnly) {
+        e.wave = mi.wave != nullptr ? mi.wave : generic_nb_wave;
+      }
       e.locks_self = mi.locks_self;
       e.variadic = mi.variadic;
       e.multi_return = mi.multi_return;

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/caller_info.hpp"
+#include "core/continuation.hpp"
 #include "core/global_ref.hpp"
 #include "core/ids.hpp"
 #include "core/schema.hpp"
@@ -52,11 +53,42 @@ using SeqFn = Context* (*)(Node& nd, Value* ret, const CallerInfo& ci, GlobalRef
 /// (expect future slots, set ctx.pc, call nd.suspend(ctx)).
 using ParStep = void (*)(Node& nd, Context& ctx);
 
+/// Struct-of-arrays view over a run of same-method invocation messages
+/// (MachineConfig::merge_waves). Column i describes the i-th message of the
+/// run, in delivery order: its target object, its argument span (pointer +
+/// count into the pooled message payload, no copies), and its reply
+/// continuation. The view borrows the drained messages' storage — it is valid
+/// only for the duration of the wave call.
+struct InvokeWave {
+  MethodId method = kInvalidMethod;
+  std::size_t count = 0;
+  const GlobalRef* targets = nullptr;
+  const Value* const* args = nullptr;
+  const std::uint32_t* nargs = nullptr;
+  const Continuation* replies = nullptr;
+};
+
+/// Wave body: executes every member of the run and replies per member
+/// (Node::reply_to_multi). Only non-blocking, non-locking methods get one —
+/// the body must complete every member on the stack, never suspend, and never
+/// return a fallback context. Apps may register a hand-written body
+/// (MethodDecl::wave) with a vectorizable inner loop; every other eligible
+/// method falls back to generic_nb_wave, a plain loop over the seq version.
+using WaveFn = void (*)(Node& nd, const InvokeWave& w);
+
+/// Default wave body: loops the method's sequential version over the run
+/// members and replies per member. Defined in core/wrapper.cpp.
+void generic_nb_wave(Node& nd, const InvokeWave& w);
+
 /// What the app declares per method (the compiler's input facts).
 struct MethodDecl {
   std::string name;
   SeqFn seq = nullptr;
   ParStep par = nullptr;
+  /// Optional hand-written merged-wave body (see WaveFn). Ignored unless the
+  /// method turns out non-blocking and non-locking under the table's mode;
+  /// eligible methods without one get generic_nb_wave.
+  WaveFn wave = nullptr;
   std::uint16_t frame_slots = 0;  ///< Context size (futures + saved locals).
   std::uint16_t arg_count = 0;    ///< Declared arity (wrappers check it).
   bool variadic = false;          ///< Takes >= arg_count args (forwarding chains).
@@ -135,6 +167,11 @@ inline constexpr std::size_t kExecModeCount = 4;
 struct DispatchEntry {
   SeqFn seq = nullptr;
   ParStep par = nullptr;
+  /// Merged-wave body (MachineConfig::merge_waves): non-null exactly when the
+  /// method is wave-eligible under this table's mode — effective schema
+  /// NonBlocking, no implicit lock, and a mode that runs stack versions at
+  /// all. nullptr sends every delivery through the per-message path.
+  WaveFn wave = nullptr;
   Schema schema = Schema::NonBlocking;  ///< Effective schema under the table's mode.
   bool locks_self = false;
   bool variadic = false;

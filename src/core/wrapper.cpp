@@ -193,6 +193,21 @@ void invoke_with_continuation(Node& nd, MethodId method, GlobalRef target, const
   }
 }
 
+void generic_nb_wave(Node& nd, const InvokeWave& w) {
+  // One dispatch lookup for the whole run; the per-member loop carries only
+  // the seq call and the reply. Wave eligibility (checked at seal() and again
+  // at run-partition time) guarantees every member is non-blocking, unlocked
+  // and local, so there is no fallback path and no implicit-lock bracket.
+  const DispatchEntry& de = nd.dispatch(w.method);
+  Value rv[8];
+  for (std::size_t i = 0; i < w.count; ++i) {
+    Context* fbk = de.seq(nd, rv, CallerInfo::none(), w.targets[i], w.args[i], w.nargs[i]);
+    CONCERT_CHECK(fbk == nullptr, "non-blocking method " << nd.registry().info(w.method).name
+                                                         << " fell back inside a wave");
+    nd.reply_to_multi(w.replies[i], rv, de.multi_return);
+  }
+}
+
 void handle_invoke_message(Node& nd, Message& msg) {
   CONCERT_CHECK(msg.method != kInvalidMethod, "invoke message without a method");
   // Executes the stack version directly out of the message buffer. A message

@@ -129,13 +129,16 @@ void export_metrics(const Machine& machine, MetricsRegistry& out) {
       {"concert_payload_discards_total", t.payload_discards},
       {"concert_payload_moves_total", t.payload_moves},
       {"concert_thread_pins_total", t.thread_pins},
+      {"concert_wave_runs_total", t.wave_runs},
+      {"concert_wave_msgs_total", t.wave_msgs},
+      {"concert_wave_max", t.wave_max},
       {"concert_trace_records_dropped_total", t.msgs_dropped_trace},
   };
   for (const auto& [name, value] : counters) out.add_counter(name, "", value);
 
   // Histograms: per-node recorders merged machine-wide; per-method latency
   // labeled by method name.
-  Histogram invoke_lat, inbox_depth, ctx_life, flush_size;
+  Histogram invoke_lat, inbox_depth, ctx_life, flush_size, wave_size;
   std::vector<Histogram> per_method;
   bool any = false;
   for (NodeId nid = 0; nid < machine.node_count(); ++nid) {
@@ -146,6 +149,7 @@ void export_metrics(const Machine& machine, MetricsRegistry& out) {
     inbox_depth += mx->inbox_depth;
     ctx_life += mx->ctx_lifetime_ns;
     flush_size += mx->flush_size;
+    wave_size += mx->wave_size;
     if (mx->per_method.size() > per_method.size()) per_method.resize(mx->per_method.size());
     for (std::size_t m = 0; m < mx->per_method.size(); ++m) per_method[m] += mx->per_method[m];
   }
@@ -155,6 +159,9 @@ void export_metrics(const Machine& machine, MetricsRegistry& out) {
   out.add_histogram("concert_inbox_depth", "Messages drained per inbox batch", inbox_depth);
   out.add_histogram("concert_ctx_lifetime_ns", "Context allocation-to-free wall time", ctx_life);
   out.add_histogram("concert_flush_size", "Staged messages per outbox flush", flush_size);
+  if (wave_size.count() > 0) {
+    out.add_histogram("concert_wave_size", "Messages per merged wave", wave_size);
+  }
   for (std::size_t m = 0; m < per_method.size(); ++m) {
     if (per_method[m].count() == 0) continue;
     const std::string& name = m < machine.registry().size()

@@ -88,6 +88,16 @@ struct MachineConfig {
   /// fully deterministic. 0 (default) keeps the strict order, bit-identical
   /// to every pre-existing run; per-channel FIFO holds either way.
   std::uint64_t shuffle_seed = 0;
+  /// Merged-wave dispatch: after an inbox drain, maximal contiguous runs of
+  /// same-method non-blocking invocations execute as ONE loop over a
+  /// struct-of-arrays view of the drained messages (one dispatch lookup, one
+  /// receive charge, one tracer/metrics bracket per run; per-element costs
+  /// collapse to CostModel::wave_member). Delivery order inside a run is the
+  /// drain order, so per-channel FIFO and per-object order are untouched.
+  /// Off by default — with it off, the merged path is never entered and every
+  /// simulated clock, message count and paper table is bit-identical to the
+  /// per-message runtime.
+  bool merge_waves = false;
 };
 
 class Machine {

@@ -2,6 +2,7 @@
 
 #include <iterator>
 
+#include "core/invoke.hpp"
 #include "core/registry.hpp"
 #include "core/wrapper.hpp"
 #include "machine/machine.hpp"
@@ -59,6 +60,18 @@ Context& Node::alloc_context_raw(MethodId m, std::size_t slots) {
 }
 
 std::vector<Value> Node::acquire_payload(std::size_t reserve) {
+  // Zero-element payloads (argument-less invokes) still take a pooled buffer
+  // when one is cheap to give (smallest populated class): pools are per-node,
+  // so an argless message ferries spare capacity to its receiver, whose
+  // release() replenishes a pool that mostly *sends* data. But they are kept
+  // out of payload_acquires/payload_pool_hits — they request nothing, and
+  // counting them made payload_hit_frac measure message traffic instead of
+  // how often real payload requests are served from the pool.
+  if (reserve == 0) {
+    std::vector<Value> buf;
+    payload_pool_.try_acquire(buf, 0);
+    return buf;
+  }
   ++stats.payload_acquires;
   std::vector<Value> buf;
   if (payload_pool_.try_acquire(buf, reserve)) {
@@ -238,7 +251,7 @@ void Node::send(Message msg) {
   // staged message carries its staging-time causality and flush_outbox never
   // re-stamps. No-op (and no allocation) unless verification is on.
   verifier.stamp_send(msg.vclock);
-  if (!comms_policy().buffered()) {
+  if (!comms_policy().buffered() && !wave_staging_) {
     // Immediate: fixed software overhead plus processor-driven injection of
     // each packet (on the CM-5 every extra packet costs nearly another
     // active message).
@@ -356,6 +369,171 @@ void Node::deliver_element(Message& msg) {
   // swapped into a context, or moved onward); recycle whatever capacity the
   // message still owns into this node's pool.
   release_payload(std::move(msg.args));
+}
+
+void Node::deliver_batch(std::vector<Message>& batch) {
+  // Every send made while a run executes is staged in the outbox — even
+  // under FlushPolicy::Immediate — and leaves as one flush per destination
+  // when the run retires, so a wave's replies travel as bundles without a
+  // policy change. Flushing per *run* (not per drained batch) and capping
+  // run length keeps requesters supplied while this node works through a
+  // long drain: with one flush per 128-message batch, SOR's boundary
+  // exchange serializes into idle ping-pong bubbles and the merged path
+  // loses more to lost overlap than it wins in amortized dispatch.
+  MethodId run_method = kInvalidMethod;
+  // True when the current run's members came out of a bundle: their receive
+  // cost, msgs_received and MsgRecv traces were already accounted at bundle
+  // arrival, and their work credit belongs to the bundle, not to them.
+  bool run_accounted = false;
+  // Executes whatever run is staged in the wave_* columns. Singleton runs are
+  // not worth a wave bracket: the plain path is exactly as cheap.
+  const auto flush_run = [&] {
+    const std::size_t n = wave_msgs_.size();
+    if (n == 0) return;
+    wave_staging_ = true;
+    if (n == 1) {
+      // deliver()/deliver_element() recycle the payload themselves.
+      if (run_accounted) {
+        deliver_element(*wave_msgs_.front());
+      } else {
+        deliver(*wave_msgs_.front());
+      }
+    } else {
+      execute_wave(run_method, run_accounted);
+    }
+    wave_staging_ = false;
+    flush_all_outboxes();
+    if (!run_accounted) {
+      for (std::size_t i = 0; i < n; ++i) machine_.on_work_retired();
+    }
+    wave_targets_.clear();
+    wave_args_.clear();
+    wave_nargs_.clear();
+    wave_replies_.clear();
+    wave_msgs_.clear();
+    run_method = kInvalidMethod;
+  };
+  // A message may join the current run only if executing it inline is
+  // guaranteed equivalent to the per-message path: a plain Invoke of a
+  // wave-eligible method (NB, non-locking — see seal()) on a local,
+  // unforwarded, unlocked object. Nothing executes between this check and
+  // the run's execution except earlier members of the same run, and a
+  // wave-eligible body can neither lock nor migrate objects, so the check
+  // cannot go stale. Everything else — and every run-key change — flushes
+  // the pending run first, preserving stream order exactly.
+  const auto feed = [&](Message& msg, bool accounted) {
+    const bool eligible = !msg.is_bundle() && msg.kind == MsgKind::Invoke &&
+                          msg.target.valid() && msg.target.node == id_ &&
+                          dispatch(msg.method).wave != nullptr &&
+                          !objects_.is_forwarded(msg.target) && !objects_.locked(msg.target);
+    if (!eligible) {
+      flush_run();
+      if (accounted) {
+        deliver_element(msg);  // recycles the payload itself
+      } else {
+        deliver(msg);
+        machine_.on_work_retired();
+      }
+      return;
+    }
+    if (run_method != kInvalidMethod &&
+        (msg.method != run_method || wave_msgs_.size() >= kWaveCap)) {
+      flush_run();
+    }
+    run_method = msg.method;
+    run_accounted = accounted;
+    wave_targets_.push_back(msg.target);
+    wave_args_.push_back(msg.args.data());
+    wave_nargs_.push_back(static_cast<std::uint32_t>(msg.args.size()));
+    wave_replies_.push_back(msg.reply_to);
+    wave_msgs_.push_back(&msg);
+  };
+  for (Message& msg : batch) {
+    if (msg.is_bundle()) {
+      // Expand the bundle through the partitioner so its members — already a
+      // same-destination burst, often homogeneous thanks to request staging —
+      // can merge into waves. Arrival accounting mirrors deliver(): the
+      // amortized bundle receive cost and per-member receive stats are paid
+      // here; the members then carry accounted=true so the wave path charges
+      // only its per-member loop costs. The bundle holds ONE engine work
+      // credit (its members' credits were retired at flush), retired after
+      // every member has executed. Runs never span a bundle boundary, so a
+      // run's accounting mode is uniform.
+      flush_run();
+      const std::size_t bn = msg.bundle.size();
+      const std::uint64_t c = costs().bundle_recv_cost(msg.any_invoke(), bn);
+      charge(c);
+      stats.comm_instructions += c;
+      ++stats.bundles_received;
+      for (Message& e : msg.bundle) {
+        ++stats.msgs_received;
+        trace(TraceKind::MsgRecv, e.method, e.cause);
+        feed(e, /*accounted=*/true);
+      }
+      flush_run();
+      machine_.on_work_retired();
+      continue;
+    }
+    feed(msg, /*accounted=*/false);
+  }
+  flush_run();
+}
+
+void Node::execute_wave(MethodId method, bool recv_accounted) {
+  const std::size_t n = wave_msgs_.size();
+  const DispatchEntry& de = dispatch(method);
+  // Amortized accounting: ONE receive overhead and ONE sequential-call setup
+  // for the run, then the residual per-member loop cost plus the lock probe
+  // each member would have paid anyway. Runs fed from an expanded bundle
+  // (recv_accounted) paid their receive costs at bundle arrival.
+  if (!recv_accounted) {
+    const std::uint64_t recv = costs().recv_cost(/*is_reply=*/false);
+    charge(recv);
+    stats.comm_instructions += recv;
+    stats.msgs_received += n;
+    for (const Message* m : wave_msgs_) trace(TraceKind::MsgRecv, method, m->cause);
+  }
+  charge_seq_call(*this, Schema::NonBlocking);
+  charge((costs().wave_member + costs().lock_check) * n);
+  stats.stack_calls += n;
+  stats.stack_completions += n;
+  stats.record_wave(n);
+  trace(TraceKind::StackRun, method);
+  if (metrics_) metrics_->wave_size.record(n);
+  {
+    // One latency bracket for the whole run (the per-message path records one
+    // per invocation; the wave's single record is the amortization at work).
+    ScopedInvokeLatency lat(metrics_.get(), method);
+    InvokeWave w;
+    w.method = method;
+    w.targets = wave_targets_.data();
+    w.args = wave_args_.data();
+    w.nargs = wave_nargs_.data();
+    w.replies = wave_replies_.data();
+    if (verifier.enabled()) {
+      // The sanitizer must observe the same interleaving of delivery joins
+      // and reply stamps as the per-message path, so each member joins and
+      // executes in turn (a one-element wave view per member). Verification
+      // is outside the cost model; the charges above are untouched.
+      w.count = 1;
+      for (std::size_t i = 0; i < n; ++i) {
+        const Message& m = *wave_msgs_[i];
+        if (!m.vclock.empty()) {
+          verifier.join_delivery(m.vclock);
+          verifier.record_object_delivery(m.target.pack(), m.method, m.vclock);
+        }
+        w.targets = wave_targets_.data() + i;
+        w.args = wave_args_.data() + i;
+        w.nargs = wave_nargs_.data() + i;
+        w.replies = wave_replies_.data() + i;
+        de.wave(*this, w);
+      }
+    } else {
+      w.count = n;
+      de.wave(*this, w);
+    }
+  }
+  for (Message* m : wave_msgs_) release_payload(std::move(m->args));
 }
 
 void Node::push_inbox(Message msg) {

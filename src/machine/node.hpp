@@ -49,6 +49,7 @@ struct NodeMetrics {
   Histogram inbox_depth;        ///< Messages drained per non-empty inbox batch.
   Histogram ctx_lifetime_ns;    ///< Context allocation -> free wall time.
   Histogram flush_size;         ///< Staged messages per outbox flush.
+  Histogram wave_size;          ///< Messages per merged wave (merge_waves runs only).
   /// Per-method invocation latency, MethodId-indexed (grown on first use).
   Histogram& method_latency(MethodId m) {
     if (m >= per_method.size()) per_method.resize(m + 1);
@@ -189,6 +190,22 @@ class Node {
   /// runs through the same wrapper / reply-routing path as a plain message,
   /// but the per-message receive overhead is paid once per bundle.
   void deliver(Message& msg);
+  /// Merged-wave delivery (MachineConfig::merge_waves): processes a whole
+  /// drained batch, executing maximal contiguous runs of same-method
+  /// wave-eligible invocations as one loop each (see DispatchEntry::wave) and
+  /// everything else through deliver(). Message order is the batch order
+  /// throughout, so per-channel FIFO and per-object delivery order are
+  /// exactly those of the per-message path. While each run executes, every
+  /// outgoing send is staged and flushed when the run retires (replies leave
+  /// as per-destination bundles). Retires one unit of engine work accounting
+  /// per message (Machine::on_work_retired).
+  void deliver_batch(std::vector<Message>& batch);
+  /// Merged-wave request staging (threaded engine, MachineConfig::merge_waves):
+  /// while on, every send stages in the outbox regardless of flush policy.
+  /// The engine brackets each context slice with it so a burst of spawns —
+  /// e.g. a driver seeding a whole phase — leaves as one bundle per
+  /// destination and arrives as one homogeneous run at the receiver.
+  void set_wave_staging(bool on) { wave_staging_ = on; }
 
   // ---- outbox (comms layer) ----
   /// Called once by the machine after all nodes exist; sizes the outbox.
@@ -276,6 +293,11 @@ class Node {
   /// Reply fill / wrapper execution shared by plain messages and bundle
   /// elements (per-message overhead already charged by deliver()).
   void deliver_element(Message& msg);
+  /// Executes the run currently staged in the wave_* scratch columns as one
+  /// merged loop (deliver_batch's helper; charges the amortized wave costs).
+  /// `recv_accounted` marks runs expanded from a bundle, whose receive cost
+  /// and per-member receive stats were paid at bundle arrival.
+  void execute_wave(MethodId method, bool recv_accounted);
   void bind_dispatch();
 
   NodeId id_;
@@ -308,6 +330,24 @@ class Node {
   /// first burst after every quiescent point into fresh heap allocations.
   static constexpr std::size_t kPayloadPoolKeep = 192;
   std::vector<Message> flush_scratch_;  ///< Reused drain buffer (capacity cycles).
+  // Merged-wave scratch: the struct-of-arrays columns an InvokeWave view
+  // points into, rebuilt per run from the drained messages (capacity cycles,
+  // no per-batch allocation). wave_msgs_ keeps the source messages so their
+  // payloads can be released after the wave executes.
+  std::vector<GlobalRef> wave_targets_;
+  std::vector<const Value*> wave_args_;
+  std::vector<std::uint32_t> wave_nargs_;
+  std::vector<Continuation> wave_replies_;
+  std::vector<Message*> wave_msgs_;
+  /// Upper bound on a merged run. Caps the reply bundle a single run emits,
+  /// which bounds how long a requester waits for its first replies while
+  /// this node works through a long drain — past ~32 the amortization gain
+  /// per extra member is negligible but the lost overlap is not.
+  static constexpr std::size_t kWaveCap = 32;
+  /// True while a wave run is executing: Node::send stages every outgoing
+  /// message in the outbox regardless of flush policy, so the run's replies
+  /// leave as one bundle per destination when the run retires.
+  bool wave_staging_ = false;
   std::unique_ptr<NodeMetrics> metrics_;  ///< Null unless MachineConfig::metrics.
   ObjectSpace objects_;
   LocationCache loc_cache_;

@@ -29,6 +29,9 @@ class SimMachine final : public Machine {
  private:
   SimNetwork network_;
   std::uint64_t actions_ = 0;
+  /// Merged-wave delivery batch (MachineConfig::merge_waves): the deliverable
+  /// messages greedily popped for one receiver, reused across deliveries.
+  std::vector<Message> batch_;
 };
 
 }  // namespace concert

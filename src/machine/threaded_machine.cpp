@@ -119,14 +119,35 @@ void ThreadedMachine::node_loop(NodeId id) {
   while (true) {
     batch.clear();
     if (nd.drain_inbox(batch, kInboxBatch) > 0) {
-      for (Message& msg : batch) {
-        nd.deliver(msg);
-        work_retired();  // retires this message's own +1
+      if (config_.merge_waves) {
+        // Merged-wave path: same-method runs inside the batch execute as one
+        // loop each; deliver_batch retires every message's credit itself
+        // (products before the +1 drops, as below).
+        nd.deliver_batch(batch);
+      } else {
+        for (Message& msg : batch) {
+          nd.deliver(msg);
+          work_retired();  // retires this message's own +1
+        }
       }
       idle = 0;
       continue;
     }
-    if (nd.run_one()) {
+    if (config_.merge_waves) {
+      // Request staging: sends made during this context slice (a driver's
+      // spawn burst, a wrapper's replies) stage in the outbox and leave as
+      // per-destination bundles when the slice ends — fewer inbox pushes,
+      // and the receiver sees contiguous same-method runs to merge.
+      nd.set_wave_staging(true);
+      const bool ran = nd.run_one();
+      nd.set_wave_staging(false);
+      if (ran) {
+        nd.flush_all_outboxes();
+        work_retired();  // retires the dequeued context's enqueue +1
+        idle = 0;
+        continue;
+      }
+    } else if (nd.run_one()) {
       work_retired();  // retires the dequeued context's enqueue +1
       idle = 0;
       continue;

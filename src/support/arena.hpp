@@ -205,6 +205,19 @@ class SlabArena {
 template <typename T>
 class BufferPool {
  public:
+  /// Capacity classes: class c holds capacities in [2^c, 2^(c+1)), with 0-
+  /// and 1-element buffers in class 0 and everything >= 2^(kClasses-1) lumped
+  /// into the top class.
+  static constexpr std::size_t kClasses = 20;
+
+  /// Per-size-class acquire accounting, keyed by the *requested* capacity's
+  /// class (not the served buffer's) — the question the counters answer is
+  /// "which request sizes miss", for diagnosing hit-rate regressions.
+  struct ClassStats {
+    std::uint64_t acquires = 0;  ///< try_acquire calls requesting this class.
+    std::uint64_t hits = 0;      ///< ... that were served from the pool.
+  };
+
   explicit BufferPool(std::size_t max_pooled = 512) : max_pooled_(max_pooled) {}
 
   BufferPool(const BufferPool&) = delete;
@@ -220,10 +233,15 @@ class BufferPool {
   /// `min_capacity == 0` takes the newest buffer from the smallest populated
   /// class, preserving large capacities for the requests that need them.
   bool try_acquire(std::vector<T>& out, std::size_t min_capacity = 0) {
+    ClassStats& cs = class_stats_[class_of(min_capacity)];
+    ++cs.acquires;
     if (total_ == 0) return false;
     if (min_capacity == 0) {
       for (auto& cls : classes_) {
-        if (!cls.empty()) return take(cls, cls.size() - 1, out);
+        if (!cls.empty()) {
+          ++cs.hits;
+          return take(cls, cls.size() - 1, out);
+        }
       }
       return false;
     }
@@ -232,19 +250,40 @@ class BufferPool {
     auto& home = classes_[class_of(min_capacity)];
     const std::size_t floor = home.size() > kFitScan ? home.size() - kFitScan : 0;
     for (std::size_t i = home.size(); i-- > floor;) {
-      if (home[i].capacity() >= min_capacity) return take(home, i, out);
+      if (home[i].capacity() >= min_capacity) {
+        ++cs.hits;
+        return take(home, i, out);
+      }
     }
     for (std::size_t c = class_of(min_capacity) + 1; c < kClasses; ++c) {
-      if (!classes_[c].empty()) return take(classes_[c], classes_[c].size() - 1, out);
+      if (!classes_[c].empty()) {
+        ++cs.hits;
+        return take(classes_[c], classes_[c].size() - 1, out);
+      }
     }
     return false;
   }
 
-  /// Returns a buffer to its capacity class. Returns false when the pool is
-  /// full (the buffer is dropped and its memory freed normally).
+  /// Returns a buffer to its capacity class. When the pool is full, a buffer
+  /// from a *smaller* populated class is evicted to make room — small
+  /// capacities are cheap to rebuild, large ones are the pool's value — and
+  /// only if no smaller class is populated is the incoming buffer dropped
+  /// (freed normally; returns false).
   bool release(std::vector<T>&& buf) {
-    if (total_ >= max_pooled_) return false;
-    classes_[class_of(buf.capacity())].push_back(std::move(buf));
+    const std::size_t cls = class_of(buf.capacity());
+    if (total_ >= max_pooled_) {
+      std::size_t victim = kClasses;
+      for (std::size_t c = 0; c < cls; ++c) {
+        if (!classes_[c].empty()) {
+          victim = c;
+          break;
+        }
+      }
+      if (victim == kClasses) return false;
+      classes_[victim].pop_back();
+      --total_;
+    }
+    classes_[cls].push_back(std::move(buf));
     ++total_;
     return true;
   }
@@ -268,15 +307,11 @@ class BufferPool {
   std::size_t size() const { return total_; }
   std::size_t capacity_limit() const { return max_pooled_; }
 
- private:
-  /// Capacity classes: class c holds capacities in [2^c, 2^(c+1)), with 0-
-  /// and 1-element buffers in class 0 and everything >= 2^(kClasses-1) lumped
-  /// into the top class.
-  static constexpr std::size_t kClasses = 20;
-  /// How many of the newest same-class buffers try_acquire scans for an
-  /// exact fit before escalating to the (all-fits) classes above.
-  static constexpr std::size_t kFitScan = 8;
+  /// Acquire/hit counters per requested-capacity class (see ClassStats).
+  const std::array<ClassStats, kClasses>& class_stats() const { return class_stats_; }
 
+  /// The capacity class a request/buffer of `cap` elements belongs to
+  /// (exposed for tests and stats reporting).
   static std::size_t class_of(std::size_t cap) {
     std::size_t c = 0;
     while (cap > 1 && c + 1 < kClasses) {
@@ -285,6 +320,11 @@ class BufferPool {
     }
     return c;
   }
+
+ private:
+  /// How many of the newest same-class buffers try_acquire scans for an
+  /// exact fit before escalating to the (all-fits) classes above.
+  static constexpr std::size_t kFitScan = 8;
 
   bool take(std::vector<std::vector<T>>& cls, std::size_t i, std::vector<T>& out) {
     out = std::move(cls[i]);
@@ -296,6 +336,7 @@ class BufferPool {
   }
 
   std::array<std::vector<std::vector<T>>, kClasses> classes_{};
+  std::array<ClassStats, kClasses> class_stats_{};
   std::size_t total_ = 0;
   std::size_t max_pooled_;
 };

@@ -47,6 +47,9 @@ NodeStats& NodeStats::operator+=(const NodeStats& o) {
   payload_discards += o.payload_discards;
   payload_moves += o.payload_moves;
   thread_pins += o.thread_pins;
+  wave_runs += o.wave_runs;
+  wave_msgs += o.wave_msgs;
+  if (o.wave_max > wave_max) wave_max = o.wave_max;
   msgs_dropped_trace += o.msgs_dropped_trace;
   for (std::size_t i = 0; i < kBundleBuckets; ++i) bundle_size_hist[i] += o.bundle_size_hist[i];
   return *this;
@@ -97,6 +100,8 @@ std::string NodeStats::summary() const {
      << "payloads: acquires=" << payload_acquires << " pool_hits=" << payload_pool_hits
      << " releases=" << payload_releases << " discards=" << payload_discards
      << " moves=" << payload_moves << "\n"
+     << "waves: runs=" << wave_runs << " msgs=" << wave_msgs
+     << " mean=" << mean_wave_size() << " max=" << wave_max << "\n"
      << "trace: dropped=" << msgs_dropped_trace << "\n";
   return os.str();
 }

@@ -73,6 +73,13 @@ struct NodeStats {
   std::uint64_t payload_moves = 0;      ///< Message-owned payloads handed over without a copy.
   std::uint64_t thread_pins = 0;        ///< Node threads pinned to a CPU (MachineConfig::pin_threads).
 
+  // Merged-wave dispatch (MachineConfig::merge_waves). A "wave" is a run of
+  // >= 2 same-method messages executed as one loop; singletons and ineligible
+  // messages take the per-message path and are not counted here.
+  std::uint64_t wave_runs = 0;  ///< Merged runs executed.
+  std::uint64_t wave_msgs = 0;  ///< Messages delivered inside merged runs.
+  std::uint64_t wave_max = 0;   ///< Largest single run.
+
   // Observability (concert-scope).
   std::uint64_t msgs_dropped_trace = 0;  ///< Trace records overwritten by the bounded ring.
 
@@ -91,6 +98,17 @@ struct NodeStats {
     return inbox_batches ? static_cast<double>(inbox_batched_msgs) /
                                static_cast<double>(inbox_batches)
                          : 0.0;
+  }
+
+  /// Records one merged wave of `n` messages.
+  void record_wave(std::size_t n) {
+    ++wave_runs;
+    wave_msgs += n;
+    if (n > wave_max) wave_max = n;
+  }
+  /// Mean messages per merged wave (0 when none ran).
+  double mean_wave_size() const {
+    return wave_runs ? static_cast<double>(wave_msgs) / static_cast<double>(wave_runs) : 0.0;
   }
 
   /// Records one flush of `n` staged messages into the histogram.
