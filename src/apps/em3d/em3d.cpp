@@ -487,6 +487,10 @@ Ids register_em3d(MethodRegistry& reg, const Params& params, std::size_t nodes) 
   d.variadic = true;
   d.class_id = 1;
   d.writes = {"inbox"};
+  // Termination fact (concert-progress): each hop consumes its own prefix of
+  // the consumer list and forwards a strictly shorter remainder; the last
+  // prefix replies — a bounded multi-hop update, not a livelock.
+  d.bounded_forwarding = true;
   ids.fwd_update = g_fwd = reg.declare(d);
   reg.add_callee(g_fwd, g_fwd, /*forwards=*/true);
 

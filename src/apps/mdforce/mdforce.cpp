@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <set>
 
 #include "core/invoke.hpp"
 #include "core/wrapper.hpp"
@@ -87,8 +86,12 @@ Plan make_plan(const Params& p, std::size_t nodes) {
   plan.pairs.resize(nodes);
   plan.pushes.resize(nodes);
   plan.needed_in.assign(nodes, 0);
-  std::vector<std::set<std::pair<NodeId, std::uint32_t>>> push_sets(nodes);
-  std::vector<std::set<std::uint32_t>> need_sets(nodes);
+  // Duplicate (many pairs share a remote atom) push/need records accumulate in
+  // flat vectors and are sorted+uniqued once per node below — one allocation
+  // arc per node instead of one red-black node per insert, and the sorted
+  // result matches the std::set iteration order this used to produce.
+  std::vector<std::vector<std::pair<NodeId, std::uint32_t>>> push_acc(nodes);
+  std::vector<std::vector<std::uint32_t>> need_acc(nodes);
 
   auto consider = [&](std::uint32_t i, std::uint32_t j) {
     if (i >= j) return;
@@ -100,8 +103,8 @@ Plan make_plan(const Params& p, std::size_t nodes) {
     ++plan.total_pairs;
     if (oi != oj) {
       ++plan.cross_pairs;
-      push_sets[oj].insert({oi, j});  // j's owner ships j's coords to i's owner
-      need_sets[oi].insert(j);
+      push_acc[oj].emplace_back(oi, j);  // j's owner ships j's coords to i's owner
+      need_acc[oi].push_back(j);
     }
   };
 
@@ -131,8 +134,14 @@ Plan make_plan(const Params& p, std::size_t nodes) {
   }
 
   for (std::size_t nid = 0; nid < nodes; ++nid) {
-    plan.pushes[nid].assign(push_sets[nid].begin(), push_sets[nid].end());
-    plan.needed_in[nid] = need_sets[nid].size();
+    auto& pushes = push_acc[nid];
+    std::sort(pushes.begin(), pushes.end());
+    pushes.erase(std::unique(pushes.begin(), pushes.end()), pushes.end());
+    plan.pushes[nid] = std::move(pushes);
+    auto& needs = need_acc[nid];
+    std::sort(needs.begin(), needs.end());
+    needs.erase(std::unique(needs.begin(), needs.end()), needs.end());
+    plan.needed_in[nid] = needs.size();
     // Partial caching (ablation knob): drop the tail of the push plan.
     if (p.cache_fraction < 1.0) {
       const auto keep = static_cast<std::size_t>(
@@ -561,6 +570,7 @@ World build(Machine& machine, const Ids& ids, const Params& params) {
   w.barrier = make_barrier(machine, 0, static_cast<int>(nodes));
 
   w.containers.resize(nodes);
+  w.root_scratch.reserve(nodes);
   std::vector<NodeContainer*> cs(nodes);
   for (NodeId nid = 0; nid < nodes; ++nid) {
     auto [ref, c] = machine.node(nid).objects().create<NodeContainer>(kContainerType);
@@ -587,7 +597,8 @@ World build(Machine& machine, const Ids& ids, const Params& params) {
 }
 
 bool run(Machine& machine, const Ids& ids, World& w) {
-  std::vector<Context*> roots;
+  std::vector<Context*>& roots = w.root_scratch;  // reserved in build()
+  roots.clear();
   for (const GlobalRef& cref : w.containers) {
     Node& nd = machine.node(cref.node);
     Context& root = nd.alloc_context_raw(kInvalidMethod, 1);

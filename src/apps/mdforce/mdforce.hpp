@@ -93,6 +93,10 @@ struct World {
   GlobalRef barrier;
   std::size_t total_pairs = 0;
   std::size_t cross_pairs = 0;  ///< pairs whose second atom is remote.
+  /// Per-run root-context scratch, reserved once in build(). run() is the
+  /// measured body of the wallclock suite, so it must not grow vectors; the
+  /// contexts themselves come from the node slab arenas.
+  std::vector<Context*> root_scratch;
 };
 World build(Machine& machine, const Ids& ids, const Params& params);
 

@@ -58,6 +58,10 @@ MethodId register_chain(MethodRegistry& reg) {
   d.par = chain_par;
   d.frame_slots = 0;
   d.arg_count = 1;
+  // Termination fact (concert-progress): the self-forward shrinks `depth`
+  // every hop and depth <= 0 replies directly — a bounded recursion, not a
+  // livelock.
+  d.bounded_forwarding = true;
   g_chain = reg.declare(std::move(d));
   reg.add_callee(g_chain, g_chain, /*forwards=*/true);
   return g_chain;

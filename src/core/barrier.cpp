@@ -59,6 +59,10 @@ BarrierMethods register_barrier_methods(MethodRegistry& reg) {
   // Arrivals commute: each appends one waiter and the release fires on the
   // count, whichever arrival lands last.
   reg.add_commutes(m.arrive, m.arrive);
+  // Reply discipline (concert-progress): every banked arrival is discharged
+  // by the *last* arrival of the phase, whose barrier_release drains the
+  // whole waiter list — the barrier replies to itself.
+  reg.add_replier(m.arrive, m.arrive);
   return m;
 }
 

@@ -70,6 +70,13 @@ Context* ContextArena::try_resolve(const ContextRef& ref) {
   return ctx;
 }
 
+const Context* ContextArena::try_resolve(const ContextRef& ref) const {
+  if (ref.node != home_ || ref.id >= pool_.size()) return nullptr;
+  const Context* ctx = pool_[ref.id];
+  if (ctx->gen != ref.gen || ctx->status == ContextStatus::Free) return nullptr;
+  return ctx;
+}
+
 void ContextArena::reset_at_quiescence() {
   // Descending sort: freelist_.back() — the next id handed out — becomes the
   // smallest free id, so post-reset allocation order matches a fresh arena.

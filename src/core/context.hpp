@@ -166,12 +166,18 @@ class ContextArena {
 
   /// Resolve, or nullptr if the ref is stale/invalid (used by tests).
   Context* try_resolve(const ContextRef& ref);
+  const Context* try_resolve(const ContextRef& ref) const;
 
   /// Looks up a live context by id regardless of generation (scheduler use:
   /// queued contexts cannot be freed, so their id is a stable name).
   Context* try_resolve_any_gen(ContextId id) {
     if (id >= pool_.size()) return nullptr;
     Context* ctx = pool_[id];
+    return ctx->status == ContextStatus::Free ? nullptr : ctx;
+  }
+  const Context* try_resolve_any_gen(ContextId id) const {
+    if (id >= pool_.size()) return nullptr;
+    const Context* ctx = pool_[id];
     return ctx->status == ContextStatus::Free ? nullptr : ctx;
   }
 

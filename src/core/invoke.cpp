@@ -458,6 +458,7 @@ void ParFrame::complete(const Value& v) {
     ctx_.holds_lock = false;
     release_implicit_lock(nd_, ctx_.self);
   }
+  nd_.verifier.record_reply(ctx_.method, 1);
   nd_.reply_to(ctx_.ret, v);
   nd_.free_context(ctx_);
 }
@@ -467,6 +468,7 @@ void ParFrame::complete_multi(const Value* vs, std::size_t n) {
     ctx_.holds_lock = false;
     release_implicit_lock(nd_, ctx_.self);
   }
+  nd_.verifier.record_reply(ctx_.method, static_cast<std::uint8_t>(n));
   nd_.reply_to_multi(ctx_.ret, vs, n);
   nd_.free_context(ctx_);
 }

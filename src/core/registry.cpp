@@ -60,6 +60,21 @@ void MethodRegistry::add_barrier_separation(MethodId m, MethodId c1, MethodId c2
   methods_[m].barrier_separated.emplace_back(c1, c2);
 }
 
+void MethodRegistry::add_replier(MethodId banker, MethodId replier) {
+  CONCERT_CHECK(!finalized_, "registry already finalized");
+  CONCERT_CHECK(banker < methods_.size() && replier < methods_.size(),
+                "add_replier: (" << banker << ", " << replier
+                                 << ") references an unregistered method ("
+                                 << methods_.size() << " declared)");
+  // Only a method that keeps its continuation past the request can bank a
+  // reply obligation for someone else to discharge; anything else already
+  // replies on the request path and the fact would be meaningless.
+  CONCERT_CHECK(methods_[banker].uses_continuation,
+                "add_replier: banker " << methods_[banker].name
+                                       << " does not declare uses_continuation");
+  methods_[banker].repliers.push_back(replier);
+}
+
 void MethodRegistry::seal() {
   CONCERT_CHECK(!finalized_, "registry finalized twice");
   analyze_schemas(methods_);

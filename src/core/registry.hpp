@@ -137,6 +137,20 @@ struct MethodDecl {
   /// dynamic sanitizer cross-checks the claim (an observed unordered delivery
   /// of a "separated" pair is an UnorderedNotFlagged violation).
   std::vector<std::pair<MethodId, MethodId>> barrier_separated;
+  /// concert-progress (verify/progress.hpp): methods that discharge a reply
+  /// obligation this method banks. A uses_continuation method that stores its
+  /// continuation into object state (instead of replying or forwarding on the
+  /// request path) must name the methods that later drain that stored
+  /// continuation (e.g. barrier.arrive names itself; tree_barrier.arrive
+  /// names arrive/notify/release). A banker with no declared replier is a
+  /// statically lost reply. Declared via add_replier; pure analysis facts.
+  std::vector<MethodId> repliers;
+  /// Termination fact for self/forward cycles: this method's forwarding
+  /// recursion carries a strictly decreasing argument with a replying base
+  /// case (chain's depth countdown, em3d's hop budget), so a forwarding cycle
+  /// whose *every* member declares this is not a livelock. A cycle with even
+  /// one undeclared member still gets the forward-livelock diagnostic.
+  bool bounded_forwarding = false;
 };
 
 /// Registry entry after analysis.
@@ -204,6 +218,11 @@ class MethodRegistry {
   /// Declares that inside `m`'s body the spawn waves of callees `c1` and `c2`
   /// are separated by a full barrier (MethodDecl::barrier_separated).
   void add_barrier_separation(MethodId m, MethodId c1, MethodId c2);
+
+  /// Declares that `replier` discharges a reply obligation banked by
+  /// `banker` (MethodDecl::repliers). The banker must have declared
+  /// uses_continuation — only a CP method can store its continuation.
+  void add_replier(MethodId banker, MethodId replier);
 
   /// Runs the schema-selection analysis and builds the per-mode flat dispatch
   /// tables. Must be called exactly once, after which the registry is

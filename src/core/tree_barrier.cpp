@@ -132,6 +132,13 @@ TreeBarrierMethods register_tree_barrier_methods(MethodRegistry& reg) {
   reg.add_commutes(m.release, m.arrive);
   reg.add_commutes(m.release, m.notify);
   reg.add_commutes(m.release, m.release);
+  // Reply discipline (concert-progress): a banked arrival is discharged by
+  // do_release, reachable from the last local arrive (pending hits zero at
+  // the root), a child's notify bubbling up, or a release recursing down —
+  // all on the same TreeBarrierNode class, so the ledger balances.
+  reg.add_replier(m.arrive, m.arrive);
+  reg.add_replier(m.arrive, m.notify);
+  reg.add_replier(m.arrive, m.release);
   return m;
 }
 

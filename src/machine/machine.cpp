@@ -1,6 +1,7 @@
 #include "machine/machine.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <utility>
 
 #include "support/metrics.hpp"
@@ -73,6 +74,37 @@ void Machine::quiesce_memory() {
 
 void Machine::verify_at_quiescence() const {
   if (config_.verify) verify::enforce_conformance(*this);
+}
+
+std::string Machine::stall_report() const {
+  std::ostringstream os;
+  os << "stall report (" << nodes_.size() << " nodes):\n";
+  for (NodeId n = 0; n < nodes_.size(); ++n) {
+    const Node& nd = *nodes_[n];
+    os << "  node " << n << ": ready=" << nd.ready_count() << " outbox=" << nd.outbox_pending()
+       << " live_ctx=" << nd.arena().live_count();
+    const verify::VerifyRecorder& rec = nd.verifier;
+    if (rec.enabled()) {
+      // Deterministic order: the suspended table is hash-ordered.
+      std::vector<std::pair<ContextId, verify::VerifyRecorder::SuspendedCtx>> susp(
+          rec.suspended().begin(), rec.suspended().end());
+      std::sort(susp.begin(), susp.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      os << " suspended=" << susp.size();
+      for (const auto& [id, sc] : susp) {
+        os << "\n    ctx " << n << ":" << id << " in "
+           << (sc.method < registry_.size() ? registry_.info(sc.method).name
+                                            : "#" + std::to_string(sc.method))
+           << " (flow " << sc.flow << ")";
+      }
+      if (!rec.vclock().empty()) {
+        os << "\n    vclock frontier:";
+        for (std::uint32_t c : rec.vclock()) os << " " << c;
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
 }
 
 std::size_t Machine::live_contexts() const {

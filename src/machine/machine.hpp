@@ -18,6 +18,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/registry.hpp"
@@ -98,6 +99,16 @@ struct MachineConfig {
   /// simulated clock, message count and paper table is bit-identical to the
   /// per-message runtime.
   bool merge_waves = false;
+  /// Stall watchdog (concert-progress): when nonzero, a run that makes no
+  /// scheduling progress for this many milliseconds panics with a full
+  /// stall_report() — per-node queue depths, suspended-context tables and the
+  /// vclock frontier — instead of hanging. The threaded engine measures
+  /// wall time since the last work-retire/create; the deterministic engine
+  /// treats it as a per-run wall-clock budget (its scheduler cannot stall
+  /// while work remains, but a forwarding livelock keeps it busy forever).
+  /// 0 (default) disables the watchdog; every pre-existing run, clock and
+  /// paper table is bit-identical with it off.
+  std::uint64_t stall_timeout = 0;
 };
 
 class Machine {
@@ -159,6 +170,13 @@ class Machine {
   /// MachineConfig::verify is set; no-op otherwise. Engines call this once
   /// they reach quiescence.
   void verify_at_quiescence() const;
+
+  /// Stall-watchdog dump (concert-progress): per-node ready/outbox/arena
+  /// depths, each verifier's suspended-context table (method names + trace
+  /// flow ids) and vclock frontier. Engines print this via CONCERT_CHECK when
+  /// MachineConfig::stall_timeout expires; callable any time the nodes are
+  /// not concurrently mutating (tests call it directly).
+  std::string stall_report() const;
 
   // ---- concert-scope (tracing / metrics) ----
   /// Draws a machine-unique causal id (> 0) for trace flow events: assigned

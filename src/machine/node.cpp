@@ -107,6 +107,7 @@ void Node::free_context(Context& ctx) {
     const std::uint64_t now = machine_.wall_now_ns();
     metrics_->ctx_lifetime_ns.record(now > ctx.born_ns ? now - ctx.born_ns : 0);
   }
+  verifier.record_ctx_free(ctx.id);
   arena_.free(ctx);
 }
 
@@ -137,11 +138,17 @@ void Node::suspend(Context& ctx) {
       ctx.trace_flow = machine_.next_trace_cause();
       trace(TraceKind::Suspend, ctx.method, ctx.trace_flow);
     }
+    // After the tracer so the entry carries this suspension's flow id; the
+    // join==0 fast path above and run_one's deadlock quarantine are
+    // deliberately untracked (the former resumes immediately, the latter is
+    // already reported as ReentrantAcquire).
+    verifier.record_suspend(ctx.id, ctx.method, ctx.trace_flow);
   }
 }
 
 void Node::resume(Context& ctx) {
   ++stats.resumptions;
+  verifier.record_resume(ctx.id);
   trace(TraceKind::Resume, ctx.method, ctx.trace_flow);
   if (fallback_policy() == FallbackPolicy::AlwaysRetrySequential && ctx.reverted) {
     // Ablation A1: this policy re-runs the method on the stack at every

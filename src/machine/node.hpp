@@ -144,6 +144,7 @@ class Node {
   Context& alloc_context_raw(MethodId m, std::size_t slots);
   void free_context(Context& ctx);
   ContextArena& arena() { return arena_; }
+  const ContextArena& arena() const { return arena_; }
 
   // ---- payload buffers ----
   /// Hands out a cleared Value buffer for an outgoing message payload,

@@ -1,5 +1,7 @@
 #include "machine/sim_machine.hpp"
 
+#include <chrono>
+
 namespace concert {
 
 SimMachine::SimMachine(std::size_t nodes, MachineConfig config)
@@ -13,7 +15,22 @@ void SimMachine::route(Node& from, Message msg) {
 
 void SimMachine::run_until_quiescent() {
   const std::size_t n = nodes_.size();
+  // Stall watchdog (MachineConfig::stall_timeout): the conservative scheduler
+  // cannot stall while work remains — it either acts or declares quiescence —
+  // but a forwarding livelock keeps it acting forever. The timeout is
+  // therefore a per-run wall-clock budget, probed every 4096 actions so the
+  // steady_clock read stays off the per-action path (and off entirely when
+  // the watchdog is disabled, keeping runs bit-identical).
+  const std::uint64_t timeout_ms = config_.stall_timeout;
+  const auto entered = std::chrono::steady_clock::now();
   while (true) {
+    if (timeout_ms > 0 && (actions_ & 0xfff) == 0 &&
+        std::chrono::steady_clock::now() - entered >= std::chrono::milliseconds(timeout_ms)) {
+      CONCERT_CHECK(false, "deterministic engine exceeded its stall budget of "
+                               << timeout_ms << " ms after " << actions_
+                               << " actions (livelock?)\n"
+                               << stall_report());
+    }
     // Pick the enabled action with the smallest timestamp. Message delivery
     // beats context execution at equal time; node id breaks remaining ties.
     // A node whose ready queue and inbox are both empty but whose outbox

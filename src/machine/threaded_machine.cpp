@@ -102,6 +102,7 @@ void ThreadedMachine::route(Node& from, Message msg) {
 void ThreadedMachine::work_retired() {
   const auto left = outstanding_.fetch_sub(1, std::memory_order_acq_rel) - 1;
   CONCERT_CHECK(left >= 0, "outstanding-work counter went negative");
+  if (watch_) progress_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void ThreadedMachine::node_loop(NodeId id) {
@@ -180,6 +181,9 @@ void ThreadedMachine::node_loop(NodeId id) {
 
 void ThreadedMachine::run_until_quiescent() {
   stop_.store(false, std::memory_order_release);
+  // Arm the stall watchdog before any thread exists: node threads read watch_
+  // plain, and thread creation orders this write before their first action.
+  watch_ = config_.stall_timeout > 0;
   // NUMA-interleaved placement plan (MachineConfig::pin_threads): node i runs
   // on plan[i % plan.size()]. Each thread pins *itself* before its first
   // action, so the affinity applies to the whole loop and the pin counter is
@@ -199,8 +203,27 @@ void ThreadedMachine::run_until_quiescent() {
   // The counter only reaches zero when no message is queued, no context is
   // ready, and no action is mid-flight (every action holds its own +1 until
   // its products are counted), so a zero reading is a stable quiescence.
+  // With the watchdog armed, the monitor also tracks the progress heartbeat:
+  // a counter stuck above zero while no node acts (a leaked work credit — the
+  // threaded analogue of a lost reply on a real transport) is a stall. A busy
+  // machine keeps bumping the heartbeat, so a declared stall implies every
+  // node is idle and the join below cannot hang.
+  const std::uint64_t timeout_ms = config_.stall_timeout;
+  std::uint64_t last_beat = progress_.load(std::memory_order_relaxed);
+  auto last_change = std::chrono::steady_clock::now();
+  bool stalled = false;
   while (outstanding_.load(std::memory_order_acquire) != 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(50));
+    if (timeout_ms == 0) continue;
+    const std::uint64_t beat = progress_.load(std::memory_order_relaxed);
+    if (beat != last_beat) {
+      last_beat = beat;
+      last_change = std::chrono::steady_clock::now();
+    } else if (std::chrono::steady_clock::now() - last_change >=
+               std::chrono::milliseconds(timeout_ms)) {
+      stalled = true;
+      break;
+    }
   }
   stop_.store(true, std::memory_order_release);
   // Parked nodes poll stop_ only between parks; wake them so shutdown does
@@ -210,6 +233,11 @@ void ThreadedMachine::run_until_quiescent() {
   // Node threads are gone; memory housekeeping and the recorders are safe to
   // touch from here.
   quiesce_memory();
+  CONCERT_CHECK(!stalled, "threaded engine stalled: no scheduling progress for "
+                              << timeout_ms << " ms with "
+                              << outstanding_.load(std::memory_order_acquire)
+                              << " outstanding work credit(s)\n"
+                              << stall_report());
   verify_at_quiescence();
 }
 

@@ -29,7 +29,10 @@ class ThreadedMachine final : public Machine {
   void on_work_retired() override { work_retired(); }
 
   /// Work accounting, called by the shared runtime via Machine hooks.
-  void work_created() { outstanding_.fetch_add(1, std::memory_order_acq_rel); }
+  void work_created() {
+    outstanding_.fetch_add(1, std::memory_order_acq_rel);
+    if (watch_) progress_.fetch_add(1, std::memory_order_relaxed);
+  }
   void work_retired();
 
  private:
@@ -39,6 +42,13 @@ class ThreadedMachine final : public Machine {
   std::atomic<bool> stop_{false};
   std::mutex done_mu_;
   std::condition_variable done_cv_;
+  /// Stall watchdog (MachineConfig::stall_timeout): every work-accounting
+  /// event bumps this heartbeat; the quiescence monitor declares a stall when
+  /// it stops moving. `watch_` is written before node threads spawn (and read
+  /// plain thereafter) so the extra atomic stays off the hot path entirely on
+  /// unwatched runs.
+  std::atomic<std::uint64_t> progress_{0};
+  bool watch_ = false;
 };
 
 }  // namespace concert

@@ -27,11 +27,12 @@ class ProtocolError : public std::logic_error {
 }  // namespace concert
 
 /// Always-on invariant check. `msg` is streamed, so `CONCERT_CHECK(x > 0, "x=" << x)` works.
+/// The unparenthesized `msg` expansion is the point — it splices a `<<` chain.
 #define CONCERT_CHECK(cond, msg)                                      \
   do {                                                                \
     if (!(cond)) {                                                    \
       std::ostringstream concert_check_os_;                           \
-      concert_check_os_ << "CHECK failed: " #cond " — " << msg;       \
+      concert_check_os_ << "CHECK failed: " #cond " — " << msg; /* NOLINT(bugprone-macro-parentheses) */ \
       ::concert::panic_at(__FILE__, __LINE__, concert_check_os_.str()); \
     }                                                                 \
   } while (0)

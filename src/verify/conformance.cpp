@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "core/context.hpp"
 #include "core/registry.hpp"
 #include "machine/machine.hpp"
 #include "support/panic.hpp"
@@ -36,6 +37,8 @@ const char* violation_kind_name(ViolationKind k) {
     case ViolationKind::SiteSpecBlocked: return "site-spec-blocked";
     case ViolationKind::RacyDelivery: return "racy-delivery";
     case ViolationKind::UnorderedNotFlagged: return "unordered-not-flagged";
+    case ViolationKind::OrphanedContinuation: return "orphaned-continuation";
+    case ViolationKind::ReplyBalanceViolation: return "reply-balance-violation";
   }
   return "?";
 }
@@ -210,6 +213,63 @@ ConformanceReport check_conformance(const Machine& mach) {
          << " interface, not CP";
       report.violations.push_back(
           Violation{ViolationKind::ContUseOutsideCP, n, m, kInvalidMethod, os.str()});
+    }
+
+    // Quiescence-time liveness sanitizer (concert-progress). The machine just
+    // declared quiescence — no messages in flight, no ready work — so any
+    // context still in the suspended table is waiting for a reply that can no
+    // longer arrive: an orphaned continuation, the dynamic twin of lint's
+    // lost-reply. Dump each with its continuation-ancestor chain (where its
+    // own reply would have gone) and trace flow id so the blame reads like
+    // the static witness.
+    {
+      std::vector<std::pair<ContextId, VerifyRecorder::SuspendedCtx>> orphans(
+          rec.suspended().begin(), rec.suspended().end());
+      std::sort(orphans.begin(), orphans.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (const auto& [id, sc] : orphans) {
+        std::ostringstream os;
+        os << name_of(reg, sc.method) << " (context " << n << ":" << id << ", flow " << sc.flow
+           << ") is still suspended at quiescence; the reply it awaits can no longer arrive";
+        const Context* cur = mach.node(n).arena().try_resolve_any_gen(id);
+        std::string chain;
+        // Cap the walk: a corrupted ret chain must not hang the reporter.
+        for (int hops = 0; cur != nullptr && hops < 16; ++hops) {
+          const ContextRef up = cur->ret.target;
+          if (!up.valid() || up.node >= mach.node_count()) break;
+          const Context* parent = mach.node(up.node).arena().try_resolve(up);
+          if (parent == nullptr) break;
+          chain += " <- ";
+          chain += parent->method == kInvalidMethod ? std::string("<root>")
+                                                    : name_of(reg, parent->method);
+          cur = parent;
+        }
+        if (!chain.empty()) os << " (continuation ancestors:" << chain << ")";
+        report.violations.push_back(
+            Violation{ViolationKind::OrphanedContinuation, n, sc.method, kInvalidMethod, os.str()});
+      }
+    }
+
+    // Reply-balance cross-check: every observed parallel completion must
+    // deliver exactly the statically declared multi_return budget — fewer
+    // strands the caller's remaining future slots, more can double-fill one.
+    {
+      std::vector<std::pair<MethodId, VerifyRecorder::ReplyWidths>> widths(
+          rec.reply_widths().begin(), rec.reply_widths().end());
+      std::sort(widths.begin(), widths.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (const auto& [m, w] : widths) {
+        if (m >= reg.size()) continue;
+        const std::uint8_t budget = reg.info(m).multi_return;
+        if (w.min_width == budget && w.max_width == budget) continue;
+        std::ostringstream os;
+        os << name_of(reg, m) << " completed " << w.count << " time(s) delivering between "
+           << static_cast<unsigned>(w.min_width) << " and " << static_cast<unsigned>(w.max_width)
+           << " value(s) per discharge against a declared multi_return budget of "
+           << static_cast<unsigned>(budget);
+        report.violations.push_back(
+            Violation{ViolationKind::ReplyBalanceViolation, n, m, kInvalidMethod, os.str()});
+      }
     }
   }
   return report;

@@ -46,6 +46,9 @@ enum class ViolationKind : std::uint8_t {
   // concert-race: vector-clock delivery-order sanitizer.
   RacyDelivery,           ///< Observed unordered conflicting pair the static pass also flags.
   UnorderedNotFlagged,    ///< Observed unordered conflicting pair the static pass claims ordered.
+  // concert-progress: quiescence-time liveness sanitizer.
+  OrphanedContinuation,   ///< Context still suspended at quiescence — its reply never came.
+  ReplyBalanceViolation,  ///< Observed parallel-completion width != declared multi_return.
 };
 
 const char* violation_kind_name(ViolationKind k);

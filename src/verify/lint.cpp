@@ -8,6 +8,7 @@
 
 #include "core/analysis.hpp"
 #include "support/panic.hpp"
+#include "verify/progress.hpp"
 #include "verify/race.hpp"
 
 namespace concert::verify {
@@ -116,6 +117,9 @@ const char* lint_code_name(LintCode c) {
     case LintCode::SpecUnsound: return "spec-unsound";
     case LintCode::RacingPair: return "racing-pair";
     case LintCode::NonCommutativeDelivery: return "non-commutative-delivery";
+    case LintCode::LostReply: return "lost-reply";
+    case LintCode::DoubleReply: return "double-reply";
+    case LintCode::ForwardLivelock: return "forward-livelock";
   }
   return "?";
 }
@@ -255,6 +259,15 @@ LintReport lint_methods(const std::vector<MethodInfo>& methods) {
     add(report,
         race.both_atomic ? LintCode::NonCommutativeDelivery : LintCode::RacingPair,
         Severity::Error, race.a, race.b, format_race(methods, race));
+  }
+
+  // --- reply-obligation / termination analysis (concert-progress) ------------
+  for (const ProgressIssue& issue : analyze_progress(methods).issues) {
+    LintCode code = LintCode::LostReply;
+    if (issue.kind == ProgressIssueKind::DoubleReply) code = LintCode::DoubleReply;
+    if (issue.kind == ProgressIssueKind::ForwardLivelock) code = LintCode::ForwardLivelock;
+    add(report, code, Severity::Error, issue.method, issue.other,
+        format_progress_issue(methods, issue));
   }
 
   // --- call-site specialization cross-check (concert-analyze) ----------------

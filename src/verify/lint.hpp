@@ -48,6 +48,10 @@ enum class LintCode : std::uint8_t {
   // concert-race: commutativity analysis (verify/race.hpp).
   RacingPair,             ///< Conflicting pair where a suspension can interleave the bodies.
   NonCommutativeDelivery, ///< Atomic bodies whose unordered delivery changes the result.
+  // concert-progress: reply-obligation & termination analysis (verify/progress.hpp).
+  LostReply,       ///< CP interface with a path on which the reply budget is never met.
+  DoubleReply,     ///< CP interface with a path that can over-reply its budget.
+  ForwardLivelock, ///< Forwarding cycle without a bounded_forwarding termination argument.
 };
 
 const char* lint_code_name(LintCode c);

@@ -1,0 +1,102 @@
+// concert-progress: static reply-obligation & termination analysis.
+//
+// concert-verify proves the schemas sound and concert-race proves delivery
+// order harmless, but neither guards *liveness*: a CP request whose
+// continuation is never resumed hangs the caller silently — on a distributed
+// machine, a cluster-wide stall. This pass follows every committed-CP
+// interface's forwarding chains to the endpoints that actually discharge the
+// reply obligation and checks that each path reaches one exactly once:
+//
+//   * lost-reply — some path ends at an endpoint that replies fewer values
+//     than the interface's `multi_return` budget (the caller's remaining
+//     future slots never fill), or at a method that banks its continuation
+//     into object state (uses_continuation) with no declared replier
+//     (MethodDecl::repliers), or whose declared repliers can never alias the
+//     banker's class.
+//   * double-reply — some path can discharge the obligation more than once:
+//     a method forwards its single reply obligation to several targets (each
+//     discharge fills the same future slot), or — on tampered tables only,
+//     since seal-time invariants forbid multi_return > 1 on CP methods — an
+//     endpoint's completion delivers more values than the interface budgeted.
+//     Either way a slot double-fills (a ProtocolError at runtime — when the
+//     racing fills interleave unluckily).
+//   * forward-livelock — a forwarding cycle reachable from a CP request with
+//     at least one member that does not declare bounded_forwarding (a
+//     strictly decreasing argument with a replying base case). PR 2 tolerated
+//     declared forwarding cycles wholesale; this upgrades the stance to
+//     "tolerated only with a declared termination argument".
+//
+// Each diagnostic carries a shortest blame-chain witness in the established
+// lint style. The pass also emits one ReplyLedger per CP interface — the
+// static send/recv balance certificate the barrier and tree-barrier
+// protocols are checked against (each banked arrival is balanced by exactly
+// one reply from a declared, class-aliasing replier, within budget).
+//
+// The dynamic half lives in the VerifyRecorder (live suspended-context
+// table, observed reply widths) and conformance.cpp (orphaned-continuation,
+// reply-balance-violation), with MachineConfig::stall_timeout as the
+// watchdog that dumps instead of hanging.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+
+namespace concert::verify {
+
+enum class ProgressIssueKind : std::uint8_t {
+  LostReply,       ///< A path on which the interface's budget is never met.
+  DoubleReply,     ///< A path on which the budget can be exceeded.
+  ForwardLivelock, ///< Forwarding cycle without a declared termination argument.
+};
+
+struct ProgressIssue {
+  ProgressIssueKind kind = ProgressIssueKind::LostReply;
+  /// The CP interface the diagnostic anchors to (cycle anchor for livelocks:
+  /// the smallest member id, so each cycle is reported once).
+  MethodId method = kInvalidMethod;
+  /// The offending endpoint / replier / cycle member, if any.
+  MethodId other = kInvalidMethod;
+  /// Shortest witness: interface -> (forwards) -> endpoint, or the cycle
+  /// m -> ... -> m for livelocks.
+  std::vector<MethodId> path;
+  /// Why: budget arithmetic, missing replier, non-aliasing replier, ...
+  std::string detail;
+};
+
+/// Per-interface reply-obligation certificate: the static send/recv balance
+/// facts. One ledger per committed-CP interface (every caller of `method`
+/// parks `budget` future slots until some endpoint of the forward closure
+/// replies).
+struct ReplyLedger {
+  MethodId method = kInvalidMethod;
+  std::uint8_t budget = 1;        ///< Declared multi_return (slots per request).
+  bool banks = false;             ///< Stores its continuation into object state.
+  bool bounded = false;           ///< Declared terminating forward recursion.
+  std::vector<MethodId> forwards; ///< Where the obligation transfers.
+  std::vector<MethodId> repliers; ///< Declared drains of a banked continuation.
+  bool balanced = true;           ///< No issue anchored at or blaming this method.
+};
+
+struct ProgressAnalysis {
+  std::vector<ProgressIssue> issues;
+  std::vector<ReplyLedger> ledgers;
+};
+
+/// Runs the reply-obligation analysis. Pure; tolerates unsealed/handmade
+/// method tables and ignores out-of-range edges (like lint_methods).
+ProgressAnalysis analyze_progress(const std::vector<MethodInfo>& methods);
+
+/// "banker: req -> banker (banks its continuation but declares no replier)"
+/// — one line in the concert-analyze witness idiom (the kind travels in the
+/// LintCode / ProgressIssueKind, not the text).
+std::string format_progress_issue(const std::vector<MethodInfo>& methods,
+                                  const ProgressIssue& issue);
+
+/// "barrier.arrive [CP budget 1]: banks its continuation, drained by
+/// barrier.arrive — balanced" — one certificate line.
+std::string format_ledger(const std::vector<MethodInfo>& methods, const ReplyLedger& ledger);
+
+}  // namespace concert::verify

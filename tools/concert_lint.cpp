@@ -12,13 +12,17 @@
 //                                plus each app's NB-at-site edge list
 //   concert_lint --races         only the concert-race commutativity
 //                                diagnostics (racing pairs)
+//   concert_lint --progress      only the concert-progress reply-obligation
+//                                diagnostics, plus each CP interface's
+//                                reply-ledger certificate
 //   concert_lint --json          machine-readable report on stdout (CI)
 //   concert_lint --list          list known app names
 //
-// The `deadlock-demo` and `race-demo` registries deliberately contain
-// implicit-lock cycles / racing pairs (they exist so the detectors' witnesses
-// can be demonstrated end to end); they are linted only when named explicitly
-// and never join the default sweep.
+// The `deadlock-demo`, `race-demo` and `progress-demo` registries
+// deliberately contain implicit-lock cycles / racing pairs / broken reply
+// disciplines (they exist so the detectors' witnesses can be demonstrated end
+// to end); they are linted only when named explicitly and never join the
+// default sweep.
 #include <algorithm>
 #include <cstring>
 #include <functional>
@@ -33,6 +37,7 @@
 #include "apps/synth/synth.hpp"
 #include "support/rng.hpp"
 #include "verify/lint.hpp"
+#include "verify/progress.hpp"
 
 namespace {
 
@@ -137,6 +142,59 @@ void register_race_demo(MethodRegistry& reg) {
   reg.add_barrier_separation(driver, stage_fill, stage_drain);
 }
 
+concert::MethodId progress_decl(MethodRegistry& reg, const char* name, std::uint32_t class_id,
+                                bool uses_cont = false, std::uint8_t multi_return = 1,
+                                bool bounded = false) {
+  concert::MethodDecl d;
+  d.name = name;
+  d.seq = demo_seq;
+  d.par = demo_par;
+  d.class_id = class_id;
+  d.uses_continuation = uses_cont;
+  d.multi_return = multi_return;
+  d.bounded_forwarding = bounded;
+  return reg.declare(d);
+}
+
+/// A registry seeded with the broken reply disciplines concert-progress is
+/// built for: a banker with no declared replier (lost-reply), a banker whose
+/// replier can never alias it (lost-reply), a fan-out forward that moves one
+/// reply obligation to two targets (double-reply), an unbounded forwarding
+/// cycle (forward-livelock), and balanced controls (a drained banker, a
+/// bounded countdown).
+void register_progress_demo(MethodRegistry& reg) {
+  // lost-reply: banks its continuation but nothing is declared to drain it.
+  (void)progress_decl(reg, "lost_banker", /*class_id=*/1, /*uses_cont=*/true);
+
+  // lost-reply (aliasing): the declared replier runs on a different class, so
+  // it can never see the banker's objects.
+  const auto alias_banker = progress_decl(reg, "alias_banker", 2, true);
+  const auto foreign_drain = progress_decl(reg, "foreign_drain", 3);
+  reg.add_replier(alias_banker, foreign_drain);
+
+  // double-reply: wide_req forwards its one reply obligation to two sinks;
+  // each will discharge the same continuation, double-filling the slot.
+  const auto wide_req = progress_decl(reg, "wide_req", 4);
+  const auto sink_a = progress_decl(reg, "sink_a", 4);
+  const auto sink_b = progress_decl(reg, "sink_b", 4);
+  reg.add_callee(wide_req, sink_a, /*forwards=*/true);
+  reg.add_callee(wide_req, sink_b, /*forwards=*/true);
+
+  // forward-livelock: a two-method forwarding cycle with no termination fact.
+  const auto ping = progress_decl(reg, "ping", 5);
+  const auto pong = progress_decl(reg, "pong", 5);
+  reg.add_callee(ping, pong, /*forwards=*/true);
+  reg.add_callee(pong, ping, /*forwards=*/true);
+
+  // Control group: a banker drained by a same-class replier and a bounded
+  // self-forwarding countdown — both ledgers balance.
+  const auto mini_barrier = progress_decl(reg, "mini_barrier", 6, true);
+  const auto mini_drain = progress_decl(reg, "mini_drain", 6);
+  reg.add_replier(mini_barrier, mini_drain);
+  const auto countdown = progress_decl(reg, "countdown", 7, false, 1, /*bounded=*/true);
+  reg.add_callee(countdown, countdown, /*forwards=*/true);
+}
+
 const std::vector<App>& apps() {
   static const std::vector<App> kApps = {
       {"sor", [](MethodRegistry& reg) { concert::sor::register_sor(reg, {}); }},
@@ -154,6 +212,7 @@ const std::vector<App>& apps() {
        [](MethodRegistry& reg) { concert::seqbench::register_seqbench(reg, true); }},
       {"deadlock-demo", register_deadlock_demo, /*in_default_sweep=*/false},
       {"race-demo", register_race_demo, /*in_default_sweep=*/false},
+      {"progress-demo", register_progress_demo, /*in_default_sweep=*/false},
   };
   return kApps;
 }
@@ -162,6 +221,7 @@ enum PassMask : unsigned {
   kPassDeadlock = 1u << 0,
   kPassSpecialize = 1u << 1,
   kPassRaces = 1u << 2,
+  kPassProgress = 1u << 3,
   kPassAll = ~0u,
 };
 
@@ -173,7 +233,11 @@ unsigned pass_of(LintCode c) {
     case LintCode::SpecUnsound: return kPassSpecialize;
     case LintCode::RacingPair:
     case LintCode::NonCommutativeDelivery: return kPassRaces;
-    default: return kPassAll & ~(kPassDeadlock | kPassSpecialize | kPassRaces);
+    case LintCode::LostReply:
+    case LintCode::DoubleReply:
+    case LintCode::ForwardLivelock: return kPassProgress;
+    default:
+      return kPassAll & ~(kPassDeadlock | kPassSpecialize | kPassRaces | kPassProgress);
   }
 }
 
@@ -208,11 +272,14 @@ struct AppResult {
   std::size_t methods = 0;
   std::vector<Diagnostic> shown;  ///< Diagnostics surviving the pass filter.
   std::vector<std::pair<std::string, std::string>> spec_edges;  ///< caller -> callee names.
+  /// Formatted ReplyLedger certificate per CP interface, paired with its
+  /// balanced verdict (--progress only).
+  std::vector<std::pair<std::string, bool>> ledgers;
   std::size_t errors = 0;
   std::size_t warnings = 0;
 };
 
-AppResult lint_app(const App& app, unsigned passes, bool want_spec_edges) {
+AppResult lint_app(const App& app, unsigned passes, bool want_spec_edges, bool want_ledgers) {
   MethodRegistry reg;
   app.build(reg);
   reg.finalize();
@@ -238,6 +305,14 @@ AppResult lint_app(const App& app, unsigned passes, bool want_spec_edges) {
       }
     }
   }
+  if (want_ledgers) {
+    const concert::verify::ProgressAnalysis progress =
+        concert::verify::analyze_progress(reg.methods());
+    for (const concert::verify::ReplyLedger& ledger : progress.ledgers) {
+      r.ledgers.emplace_back(concert::verify::format_ledger(reg.methods(), ledger),
+                             ledger.balanced);
+    }
+  }
   return r;
 }
 
@@ -250,6 +325,10 @@ void print_text(const App& app, const AppResult& r, bool blame) {
   }
   for (const auto& [caller, callee] : r.spec_edges) {
     std::cout << "spec-edge: " << caller << " -> " << callee << " [NB at site]\n";
+  }
+  for (const auto& [line, balanced] : r.ledgers) {
+    (void)balanced;  // the verdict is embedded in the formatted line
+    std::cout << "progress: " << line << "\n";
   }
   if (blame) {
     MethodRegistry reg;
@@ -285,6 +364,15 @@ void print_json(const std::vector<AppResult>& results, int total_errors) {
       }
       std::cout << "\n      ]";
     }
+    if (!r.ledgers.empty()) {
+      std::cout << ",\n      \"progress_ledgers\": [";
+      for (std::size_t i = 0; i < r.ledgers.size(); ++i) {
+        std::cout << (i ? "," : "") << "\n        {\"ledger\": \""
+                  << json_escape(r.ledgers[i].first) << "\", \"balanced\": "
+                  << (r.ledgers[i].second ? "true" : "false") << "}";
+      }
+      std::cout << "\n      ]";
+    }
     std::cout << "\n    }" << (a + 1 < results.size() ? "," : "") << "\n";
   }
   std::cout << "  ],\n  \"total_errors\": " << total_errors << "\n}\n";
@@ -308,18 +396,21 @@ int main(int argc, char** argv) {
       passes |= kPassSpecialize;
     } else if (std::strcmp(argv[i], "--races") == 0) {
       passes |= kPassRaces;
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      passes |= kPassProgress;
     } else if (std::strcmp(argv[i], "--list") == 0) {
       for (const App& app : apps()) std::cout << app.name << "\n";
       return 0;
     } else if (std::strcmp(argv[i], "--help") == 0 || std::strcmp(argv[i], "-h") == 0) {
       std::cout << "usage: concert_lint [--blame] [--json] [--deadlock] [--specialize] "
-                   "[--races] [--list] [app...]\n";
+                   "[--races] [--progress] [--list] [app...]\n";
       return 0;
     } else {
       wanted.emplace_back(argv[i]);
     }
   }
   const bool want_spec_edges = (passes & kPassSpecialize) != 0;
+  const bool want_ledgers = (passes & kPassProgress) != 0;
   if (passes == 0) passes = kPassAll;
 
   int errors = 0;
@@ -330,7 +421,7 @@ int main(int argc, char** argv) {
                        std::find(wanted.begin(), wanted.end(), app.name) != wanted.end();
     if (wanted.empty() ? !app.in_default_sweep : !named) continue;
     matched_any = true;
-    AppResult r = lint_app(app, passes, want_spec_edges);
+    AppResult r = lint_app(app, passes, want_spec_edges, want_ledgers);
     errors += static_cast<int>(r.errors);
     if (json) {
       results.push_back(std::move(r));
