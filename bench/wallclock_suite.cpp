@@ -9,6 +9,7 @@
 // so successive PRs can compare like against like.
 //
 //   wallclock_suite [--smoke] [--reps N] [--json PATH] [--metrics] [--trace]
+//                   [--sites] [--postmortem-demo]
 //
 // --smoke shrinks every workload to a few hundred milliseconds total (the CI
 // configuration); --json chooses the output path (default
@@ -16,7 +17,13 @@
 // with MachineConfig::metrics on and adds per-kernel invocation-latency
 // p50/p99 to the table and the JSON. --trace runs one extra traced SOR
 // iteration and writes TRACE_sor.ctrc (binary), TRACE_sor.json (Perfetto),
-// and — with --metrics — METRICS_sor.json / METRICS_sor.prom.
+// CRITPATH_sor.json (concert-insight critical path; its bucket fractions
+// also land in BENCH_wallclock.json as "critpath"), and — with --metrics —
+// METRICS_sor.json / METRICS_sor.prom. --sites runs one extra SOR iteration
+// with per-call-site profiling and writes SITES_sor.json.
+// --postmortem-demo deliberately stalls a small run (a phantom work credit
+// the watchdog then reports) and leaves POSTMORTEM_demo.json behind — the CI
+// artifact exercising the flight-recorder dump end to end.
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
@@ -32,6 +39,7 @@
 #include "bench_util.hpp"
 #include "core/invoke.hpp"
 #include "core/wrapper.hpp"
+#include "machine/critpath.hpp"
 #include "machine/sim_machine.hpp"
 #include "machine/threaded_machine.hpp"
 #include "machine/trace.hpp"
@@ -490,9 +498,20 @@ std::vector<MergeDelta> run_merge_comparison(bool smoke, int reps, const Machine
   return deltas;
 }
 
+/// Critical-path bucket fractions from the traced SOR run (concert-insight),
+/// folded into BENCH_wallclock.json so PRs can track where makespan goes.
+struct CritFracs {
+  bool valid = false;
+  double compute = 0.0;
+  double network = 0.0;
+  double wait = 0.0;
+  double sched = 0.0;
+  double attributed = 0.0;
+};
+
 void write_json(const std::string& path, const std::vector<WorkloadResult>& results,
                 const std::vector<SpecDelta>& spec, const std::vector<MergeDelta>& merge,
-                bool smoke, int reps, bool merged_main) {
+                bool smoke, int reps, bool merged_main, const CritFracs& crit) {
   std::ofstream os(path);
   CONCERT_CHECK(os.good(), "cannot write " << path);
   os << "{\n"
@@ -549,7 +568,14 @@ void write_json(const std::string& path, const std::vector<WorkloadResult>& resu
        << ", \"mean_wave\": " << d.mean_wave << ", \"speedup\": " << d.speedup() << "}"
        << (i + 1 < merge.size() ? "," : "") << "\n";
   }
-  os << "  ]\n}\n";
+  os << "  ]";
+  if (crit.valid) {
+    os << ",\n  \"critpath\": {\"workload\": \"sor\", \"compute_frac\": " << crit.compute
+       << ", \"network_frac\": " << crit.network << ", \"wait_frac\": " << crit.wait
+       << ", \"sched_frac\": " << crit.sched
+       << ", \"attributed_frac\": " << crit.attributed << "}";
+  }
+  os << "\n}\n";
 }
 
 // ---------------------------------------------------------------------------
@@ -558,7 +584,7 @@ void write_json(const std::string& path, const std::vector<WorkloadResult>& resu
 // the timed suite so the ring-buffer writes never pollute the numbers above.
 // ---------------------------------------------------------------------------
 
-void run_traced_sor(bool metrics) {
+CritFracs run_traced_sor(bool metrics) {
   MachineConfig cfg = wallclock_config();
   cfg.trace = true;
   cfg.metrics = metrics;
@@ -586,6 +612,30 @@ void run_traced_sor(bool metrics) {
   }
   std::cout << "wrote TRACE_sor.ctrc, TRACE_sor.json (" << dump.events.size() << " events, "
             << dump.dropped << " dropped)\n";
+
+  // Critical path over the same dump (concert-insight): the JSON artifact
+  // plus the bucket fractions for BENCH_wallclock.json.
+  const CritPathReport rep = analyze_critical_path(dump);
+  {
+    std::ofstream os("CRITPATH_sor.json");
+    CONCERT_CHECK(os.good(), "cannot write CRITPATH_sor.json");
+    write_critpath_json(rep, dump, os);
+  }
+  CritFracs cf;
+  if (rep.span_us > 0) {
+    cf.valid = true;
+    cf.compute = rep.compute_us / rep.span_us;
+    cf.network = rep.network_us / rep.span_us;
+    cf.wait = rep.wait_us / rep.span_us;
+    cf.sched = rep.sched_us / rep.span_us;
+    cf.attributed = rep.attributed_frac;
+  }
+  std::cout << "wrote CRITPATH_sor.json (attributed_frac=" << fmt_double(cf.attributed, 3)
+            << ", compute=" << fmt_double(cf.compute * 100.0, 1)
+            << "%, network=" << fmt_double(cf.network * 100.0, 1)
+            << "%, wait=" << fmt_double(cf.wait * 100.0, 1)
+            << "%, sched=" << fmt_double(cf.sched * 100.0, 1) << "%)\n";
+
   if (metrics) {
     MetricsRegistry reg;
     export_metrics(m, reg);
@@ -597,6 +647,69 @@ void run_traced_sor(bool metrics) {
     reg.write_prometheus(pm);
     std::cout << "wrote METRICS_sor.json, METRICS_sor.prom\n";
   }
+  return cf;
+}
+
+// ---------------------------------------------------------------------------
+// Per-call-site profiled SOR (--sites): one iteration with
+// MachineConfig::profile_sites on, dumped as SITES_sor.json. Separate from
+// the timed runs — site profiling reads the host clock on the invoke path.
+// ---------------------------------------------------------------------------
+
+void run_sites_sor() {
+  MachineConfig cfg = wallclock_config();
+  cfg.profile_sites = true;
+  sor::Params p;
+  p.n = 32;
+  p.pgrid = 2;
+  p.block = 8;
+  p.iters = 1;
+  ThreadedMachine m(p.nodes(), cfg);
+  auto ids = sor::register_sor(m.registry(), p);
+  m.registry().finalize();
+  auto world = sor::build(m, ids, p);
+  CONCERT_CHECK(sor::run(m, ids, world), "site-profiled SOR driver failed");
+  std::ofstream os("SITES_sor.json");
+  CONCERT_CHECK(os.good(), "cannot write SITES_sor.json");
+  write_sites_json(m, os);
+  const NodeStats t = m.total_stats();
+  std::cout << "wrote SITES_sor.json (stack_calls=" << t.stack_calls
+            << ", completions=" << t.stack_completions << ", fallbacks=" << t.fallbacks
+            << ")\n";
+}
+
+// ---------------------------------------------------------------------------
+// Postmortem demo (--postmortem-demo): run a small SOR so the flight rings
+// and health samplers hold real history, then leak one phantom work credit —
+// the threaded analogue of a lost reply on a real transport. The watchdog
+// declares a stall and dumps POSTMORTEM_demo.json (the CI artifact); the
+// expected ProtocolError is caught here and the credit rebalanced.
+// ---------------------------------------------------------------------------
+
+void run_postmortem_demo() {
+  MachineConfig cfg = wallclock_config();
+  cfg.stall_timeout = 150;
+  cfg.postmortem_path = "POSTMORTEM_demo.json";
+  sor::Params p;
+  p.n = 16;
+  p.pgrid = 2;
+  p.block = 8;
+  p.iters = 1;
+  ThreadedMachine m(p.nodes(), cfg);
+  auto ids = sor::register_sor(m.registry(), p);
+  m.registry().finalize();
+  auto world = sor::build(m, ids, p);
+  CONCERT_CHECK(sor::run(m, ids, world), "postmortem-demo SOR driver failed");
+  m.on_work_created();  // phantom credit: nothing will ever retire it
+  bool stalled = false;
+  try {
+    m.run_until_quiescent();
+  } catch (const ProtocolError&) {
+    stalled = true;
+  }
+  m.on_work_retired();  // rebalance so teardown sees a clean counter
+  CONCERT_CHECK(stalled, "postmortem demo failed to trip the stall watchdog");
+  std::cout << "wrote POSTMORTEM_demo.json (deliberate stall)\n";
 }
 
 }  // namespace
@@ -609,6 +722,8 @@ int main(int argc, char** argv) {
   bool trace = false;
   bool pin = false;
   bool merge = false;
+  bool sites = false;
+  bool postmortem_demo = false;
   int reps = 3;
   std::string json_path = "BENCH_wallclock.json";
   for (int i = 1; i < argc; ++i) {
@@ -622,13 +737,18 @@ int main(int argc, char** argv) {
       pin = true;
     } else if (std::strcmp(argv[i], "--merge") == 0) {
       merge = true;
+    } else if (std::strcmp(argv[i], "--sites") == 0) {
+      sites = true;
+    } else if (std::strcmp(argv[i], "--postmortem-demo") == 0) {
+      postmortem_demo = true;
     } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
       reps = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else {
       std::cerr << "usage: wallclock_suite [--smoke] [--reps N] [--json PATH] "
-                   "[--metrics] [--trace] [--pin] [--merge]\n";
+                   "[--metrics] [--trace] [--pin] [--merge] [--sites] "
+                   "[--postmortem-demo]\n";
       return 2;
     }
   }
@@ -705,9 +825,14 @@ int main(int argc, char** argv) {
   }
   mt.print(std::cout);
 
-  write_json(json_path, results, spec, merged, smoke, reps, merge);
+  // The traced run comes before the JSON is written so its critical-path
+  // bucket fractions land in the same BENCH_wallclock.json.
+  CritFracs crit;
+  if (trace) crit = run_traced_sor(metrics);
+  write_json(json_path, results, spec, merged, smoke, reps, merge, crit);
   std::cout << "\nwrote " << json_path << "\n";
 
-  if (trace) run_traced_sor(metrics);
+  if (sites) run_sites_sor();
+  if (postmortem_demo) run_postmortem_demo();
   return 0;
 }

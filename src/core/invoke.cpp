@@ -1,11 +1,22 @@
 #include "core/invoke.hpp"
 
+#include <chrono>
 #include <vector>
 
 #include "core/wrapper.hpp"
 #include "machine/machine.hpp"
 
 namespace concert {
+
+namespace {
+// concert-insight site profiling: wall stamps are read only when the profiler
+// is enabled and never enter the cost model.
+inline std::uint64_t site_now_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+}  // namespace
 
 void charge_seq_call(Node& nd, Schema callee_schema) {
   const CostModel& c = nd.costs();
@@ -156,18 +167,30 @@ bool Frame::call(MethodId callee, GlobalRef target, const Value* args, std::size
   } else {
     ++nd_.stats.local_invokes;
   }
+  SiteRecord* site = nullptr;
+  if (nd_.sites().enabled()) {
+    site = &nd_.sites().at(method_, callee);
+    ++site->invokes;
+    if (is_remote) ++site->remote;
+  }
 
   const bool runnable_here = nd_.local_and_unlocked(target);
   const bool injected =
       runnable_here && nd_.injector().enabled() && nd_.injector().should_block(callee);
 
   if (!runnable_here || injected) {
+    if (site != nullptr) ++site->diverts;
     go_parallel(callee, target, args, nargs, slot, de.multi_return, is_remote);
     return false;
   }
 
   // Speculative stack execution.
   ++nd_.stats.stack_calls;
+  std::uint64_t site_t0 = 0;
+  if (site != nullptr) {
+    ++site->attempts;
+    site_t0 = site_now_ns();
+  }
   CONCERT_CHECK(de.variadic ? nargs >= de.arg_count : nargs == de.arg_count,
                 "call of " << nd_.registry().info(callee).name << " with " << nargs
                            << " args, wants " << de.arg_count);
@@ -184,7 +207,15 @@ bool Frame::call(MethodId callee, GlobalRef target, const Value* args, std::size
   if (fbk == nullptr) {
     if (locked_here) release_implicit_lock(nd_, target);
     ++nd_.stats.stack_completions;
+    if (site != nullptr) {
+      ++site->nb_hits;
+      site->stack_ns.record(site_now_ns() - site_t0);
+    }
     return true;
+  }
+  if (site != nullptr) {
+    ++site->fallbacks;
+    site->fallback_ns.record(site_now_ns() - site_t0);
   }
   // The callee fell back: its (MB) context inherits the lock until its
   // parallel version completes. (locks_self is rejected on CP methods.)
@@ -247,19 +278,41 @@ Context* Frame::forward(MethodId callee, GlobalRef target, const Value* args,
   const bool injected =
       runnable_here && nd_.injector().enabled() && nd_.injector().should_block(callee);
 
+  SiteRecord* site = nullptr;
+  if (nd_.sites().enabled()) {
+    site = &nd_.sites().at(method_, callee);
+    ++site->invokes;
+    if (is_remote) ++site->remote;
+  }
+
   if (runnable_here && !injected) {
     ++nd_.stats.local_invokes;
     ++nd_.stats.stack_calls;
+    std::uint64_t site_t0 = 0;
+    if (site != nullptr) {
+      ++site->attempts;
+      site_t0 = site_now_ns();
+    }
     // Local forwarding stays on the stack: pass (ret, ci) through unchanged;
     // whatever the callee returns is exactly what we must return.
     Context* fbk = de.seq(nd_, ret, ci_, target, args, nargs);
     if (fbk == nullptr) ++nd_.stats.stack_completions;
+    if (site != nullptr) {
+      if (fbk == nullptr) {
+        ++site->nb_hits;
+        site->stack_ns.record(site_now_ns() - site_t0);
+      } else {
+        ++site->fallbacks;
+        site->fallback_ns.record(site_now_ns() - site_t0);
+      }
+    }
     return fbk;
   }
 
   // Off-node (or diverted) forwarding: the continuation must be materialized
   // and travels with the invocation. We complete right away; the reply
   // obligation now rests with the callee.
+  if (site != nullptr) ++site->diverts;
   ++nd_.stats.continuations_forwarded;
   MaterializedCont mk = materialize_continuation(nd_, ci_);
   mk.cont.forwarded = true;
@@ -357,8 +410,15 @@ void ParFrame::spawn(MethodId callee, GlobalRef target, const Value* args, std::
   } else {
     ++nd_.stats.local_invokes;
   }
+  SiteRecord* site = nullptr;
+  if (nd_.sites().enabled()) {
+    site = &nd_.sites().at(ctx_.method, callee);
+    ++site->invokes;
+    if (is_remote) ++site->remote;
+  }
 
   if (nd_.mode() == ExecMode::ParallelOnly) {
+    if (site != nullptr) ++site->diverts;
     // The parallel-only runtime still performs name translation + locality
     // checks to route the invocation.
     nd_.charge(nd_.costs().name_translation + nd_.costs().locality_check);
@@ -389,6 +449,7 @@ void ParFrame::spawn(MethodId callee, GlobalRef target, const Value* args, std::
   const std::size_t nret = de.multi_return;
 
   if (!runnable_here || injected) {
+    if (site != nullptr) ++site->diverts;
     for (std::size_t i = 0; i < nret; ++i) ctx_.expect(static_cast<SlotId>(slot + i));
     nd_.charge(nd_.costs().future_expect);
     const Continuation k{ctx_.ref(), slot, false};
@@ -403,6 +464,11 @@ void ParFrame::spawn(MethodId callee, GlobalRef target, const Value* args, std::
 
   // Hybrid fast path from a parallel caller: children still try the stack.
   ++nd_.stats.stack_calls;
+  std::uint64_t site_t0 = 0;
+  if (site != nullptr) {
+    ++site->attempts;
+    site_t0 = site_now_ns();
+  }
   CONCERT_CHECK(nret <= 8, "multi_return too wide");
   CallerInfo ci;
   if (schema == Schema::ContinuationPassing) {
@@ -418,8 +484,16 @@ void ParFrame::spawn(MethodId callee, GlobalRef target, const Value* args, std::
   if (fbk == nullptr) {
     if (locked_here) release_implicit_lock(nd_, target);
     ++nd_.stats.stack_completions;
+    if (site != nullptr) {
+      ++site->nb_hits;
+      site->stack_ns.record(site_now_ns() - site_t0);
+    }
     for (std::size_t i = 0; i < nret; ++i) ctx_.save(static_cast<SlotId>(slot + i), out[i]);
     return;
+  }
+  if (site != nullptr) {
+    ++site->fallbacks;
+    site->fallback_ns.record(site_now_ns() - site_t0);
   }
   if (locked_here) fbk->holds_lock = true;
   // (The fallback itself is counted at the callee's materialization site.)

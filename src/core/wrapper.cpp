@@ -1,11 +1,22 @@
 #include "core/wrapper.hpp"
 
+#include <chrono>
 #include <vector>
 
 #include "core/invoke.hpp"
 #include "core/registry.hpp"
 
 namespace concert {
+
+namespace {
+// concert-insight site profiling: wall stamps are read only when the profiler
+// is enabled and never enter the cost model.
+inline std::uint64_t site_now_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+}  // namespace
 
 Context& make_proxy_context(Node& nd, const Continuation& k) {
   Context& proxy = nd.alloc_context_raw(kInvalidMethod, 0);
@@ -99,8 +110,22 @@ void invoke_with_continuation(Node& nd, MethodId method, GlobalRef target, const
                 "invoke of " << nd.registry().info(method).name << " with " << nargs
                              << " args, wants " << de.arg_count);
 
+  // concert-insight: wrapper executions have no declared caller and record
+  // under the "(message)" pseudo-caller (slot 0 of the SiteProfiler). The
+  // invokes/remote counts mirror `count_invocation` exactly so the profile
+  // totals reconcile with local_invokes + remote_invokes.
+  SiteRecord* site = nullptr;
+  if (nd.sites().enabled()) {
+    site = &nd.sites().at(kInvalidMethod, method);
+    if (count_invocation) ++site->invokes;
+  }
+
   if (target.valid() && target.node != nd.id()) {
     if (count_invocation) ++nd.stats.remote_invokes;
+    if (site != nullptr) {
+      if (count_invocation) ++site->remote;
+      ++site->diverts;
+    }
     std::vector<Value> payload;
     if (owned != nullptr) {
       // Re-route: the delivered buffer travels onward unchanged.
@@ -116,6 +141,7 @@ void invoke_with_continuation(Node& nd, MethodId method, GlobalRef target, const
   if (count_invocation) ++nd.stats.local_invokes;
 
   if (nd.mode() == ExecMode::ParallelOnly) {
+    if (site != nullptr) ++site->diverts;
     invoke_via_heap(nd, method, target, args, nargs, k, owned);
     return;
   }
@@ -125,6 +151,7 @@ void invoke_with_continuation(Node& nd, MethodId method, GlobalRef target, const
   if (target.valid()) {
     nd.charge(nd.costs().lock_check);
     if (nd.objects().locked(target)) {
+      if (site != nullptr) ++site->diverts;
       invoke_via_heap(nd, method, target, args, nargs, k, owned);
       return;
     }
@@ -138,6 +165,23 @@ void invoke_with_continuation(Node& nd, MethodId method, GlobalRef target, const
   const Schema schema = de.schema;
   charge_seq_call(nd, schema);
   ++nd.stats.stack_calls;
+  std::uint64_t site_t0 = 0;
+  if (site != nullptr) {
+    ++site->attempts;
+    site_t0 = site_now_ns();
+  }
+  const auto site_hit = [&] {
+    if (site != nullptr) {
+      ++site->nb_hits;
+      site->stack_ns.record(site_now_ns() - site_t0);
+    }
+  };
+  const auto site_fell_back = [&] {
+    if (site != nullptr) {
+      ++site->fallbacks;
+      site->fallback_ns.record(site_now_ns() - site_t0);
+    }
+  };
   nd.trace(TraceKind::StackRun, method);
   // Inclusive wall latency of the stack execution (records on every return
   // path below); a no-op when metrics are off.
@@ -152,6 +196,7 @@ void invoke_with_continuation(Node& nd, MethodId method, GlobalRef target, const
                                                            << " fell back");
       if (locked_here) release_implicit_lock(nd, target);
       ++nd.stats.stack_completions;
+      site_hit();
       // A purely reactive invocation carries no continuation; otherwise pass
       // the return value(s) to the waiting future(s).
       nd.reply_to_multi(k, rv, de.multi_return);
@@ -163,8 +208,10 @@ void invoke_with_continuation(Node& nd, MethodId method, GlobalRef target, const
       if (fbk == nullptr) {
         if (locked_here) release_implicit_lock(nd, target);
         ++nd.stats.stack_completions;
+        site_hit();
         nd.reply_to_multi(k, rv, de.multi_return);
       } else {
+        site_fell_back();
         if (locked_here) fbk->holds_lock = true;
         // Place the continuation in the callee's context in case the method
         // suspended (Fig. 8, May-block row).
@@ -181,10 +228,12 @@ void invoke_with_continuation(Node& nd, MethodId method, GlobalRef target, const
         // The method replied by storing through return_val: forward the value
         // to the original caller; the continuation was never materialized.
         ++nd.stats.stack_completions;
+        site_hit();
         nd.reply_to(k, rv[0]);
       } else {
         // The continuation was extracted from the proxy (stored, forwarded,
         // or attached to a suspended context); the reply obligation has moved.
+        site_fell_back();
         CONCERT_CHECK(fbk == &proxy, "CP wrapper got a foreign holder context");
       }
       nd.free_context(proxy);

@@ -1,6 +1,7 @@
 #include "machine/machine.hpp"
 
 #include <algorithm>
+#include <ostream>
 #include <sstream>
 #include <utility>
 
@@ -72,6 +73,10 @@ void Machine::quiesce_memory() {
   for (auto& n : nodes_) n->quiesce_memory();
 }
 
+void Machine::sample_health_all() {
+  for (auto& n : nodes_) n->sample_health();
+}
+
 void Machine::verify_at_quiescence() const {
   if (config_.verify) verify::enforce_conformance(*this);
 }
@@ -112,6 +117,54 @@ std::size_t Machine::live_contexts() const {
   for (const auto& n : nodes_) live += n->arena().live_count();
   return live;
 }
+
+namespace {
+
+/// One call edge of the site profile, merged across nodes (concert-insight).
+struct MergedSite {
+  MethodId caller = kInvalidMethod;  ///< kInvalidMethod = "(message)" wrapper path
+  SiteRecord rec;
+};
+
+std::vector<MergedSite> merged_sites(const Machine& m) {
+  std::vector<MergedSite> out;
+  for (NodeId nid = 0; nid < m.node_count(); ++nid) {
+    const auto& table = m.node(nid).sites().by_caller();
+    for (std::size_t c = 0; c < table.size(); ++c) {
+      const MethodId caller = c == 0 ? kInvalidMethod : static_cast<MethodId>(c - 1);
+      for (const SiteRecord& r : table[c]) {
+        MergedSite* slot = nullptr;
+        for (MergedSite& s : out) {
+          if (s.caller == caller && s.rec.callee == r.callee) {
+            slot = &s;
+            break;
+          }
+        }
+        if (slot == nullptr) {
+          out.emplace_back();
+          out.back().caller = caller;
+          out.back().rec.callee = r.callee;
+          slot = &out.back();
+        }
+        slot->rec.merge(r);
+      }
+    }
+  }
+  // Deterministic export order: hottest edges first, names break ties.
+  std::sort(out.begin(), out.end(), [](const MergedSite& a, const MergedSite& b) {
+    if (a.rec.invokes != b.rec.invokes) return a.rec.invokes > b.rec.invokes;
+    if (a.caller != b.caller) return a.caller < b.caller;
+    return a.rec.callee < b.rec.callee;
+  });
+  return out;
+}
+
+std::string site_method_name(const Machine& m, MethodId id) {
+  if (id == kInvalidMethod) return "(message)";
+  return id < m.registry().size() ? m.registry().info(id).name : "#" + std::to_string(id);
+}
+
+}  // namespace
 
 void export_metrics(const Machine& machine, MetricsRegistry& out) {
   const NodeStats t = machine.total_stats();
@@ -168,6 +221,72 @@ void export_metrics(const Machine& machine, MetricsRegistry& out) {
   };
   for (const auto& [name, value] : counters) out.add_counter(name, "", value);
 
+  // concert-insight: merged queue-depth health samples plus a load-skew
+  // gauge (max/mean of per-node mean live contexts). Empty unless the
+  // flight recorder was on and an engine took samples.
+  {
+    Histogram ready_h;
+    Histogram outbox_h;
+    Histogram live_h;
+    std::uint64_t samples = 0;
+    double max_mean = 0.0;
+    double sum_mean = 0.0;
+    std::size_t sampled_nodes = 0;
+    for (NodeId nid = 0; nid < machine.node_count(); ++nid) {
+      const HealthStats& h = machine.node(nid).health;
+      if (h.samples == 0) continue;
+      samples += h.samples;
+      ready_h += h.ready_depth;
+      outbox_h += h.outbox_depth;
+      live_h += h.live_ctx;
+      const double mean = h.live_ctx.mean();
+      max_mean = std::max(max_mean, mean);
+      sum_mean += mean;
+      ++sampled_nodes;
+    }
+    if (samples > 0) {
+      out.add_counter("concert_health_samples_total", "Queue-depth health samples taken",
+                      samples);
+      out.add_histogram("concert_health_ready_depth", "Ready-queue depth at health samples",
+                        ready_h);
+      out.add_histogram("concert_health_outbox_depth", "Outbox backlog at health samples",
+                        outbox_h);
+      out.add_histogram("concert_health_live_ctx", "Live heap contexts at health samples",
+                        live_h);
+      const double avg = sampled_nodes > 0 ? sum_mean / static_cast<double>(sampled_nodes) : 0.0;
+      const double skew = avg > 0.0 ? max_mean / avg : 1.0;
+      out.add_counter("concert_load_skew_x1000",
+                      "Load skew: max/mean of per-node mean live contexts, scaled by 1000",
+                      static_cast<std::uint64_t>(skew * 1000.0));
+    }
+  }
+
+  // concert-insight: per-call-edge profile (MachineConfig::profile_sites).
+  for (const MergedSite& s : merged_sites(machine)) {
+    const MetricLabels labels = {{"caller", site_method_name(machine, s.caller)},
+                                 {"callee", site_method_name(machine, s.rec.callee)}};
+    out.add_counter("concert_site_invokes_total", "Invocations issued at this call edge",
+                    s.rec.invokes, labels);
+    out.add_counter("concert_site_attempts_total", "Stack speculations begun at this call edge",
+                    s.rec.attempts, labels);
+    out.add_counter("concert_site_nb_hits_total", "Speculations completed on the stack",
+                    s.rec.nb_hits, labels);
+    out.add_counter("concert_site_fallbacks_total", "Speculations that fell back to the heap",
+                    s.rec.fallbacks, labels);
+    out.add_counter("concert_site_diverts_total",
+                    "Invocations diverted to the heap or a remote node with no stack attempt",
+                    s.rec.diverts, labels);
+    if (s.rec.stack_ns.count() > 0) {
+      out.add_histogram("concert_site_stack_latency_ns",
+                        "Wall latency of stack attempts that hit", s.rec.stack_ns, labels);
+    }
+    if (s.rec.fallback_ns.count() > 0) {
+      out.add_histogram("concert_site_fallback_latency_ns",
+                        "Wall latency of stack attempts that fell back", s.rec.fallback_ns,
+                        labels);
+    }
+  }
+
   // Histograms: per-node recorders merged machine-wide; per-method latency
   // labeled by method name.
   Histogram invoke_lat, inbox_depth, ctx_life, flush_size, wave_size;
@@ -202,6 +321,64 @@ void export_metrics(const Machine& machine, MetricsRegistry& out) {
     out.add_histogram("concert_method_latency_ns", "Invocation wall latency", per_method[m],
                       {{"method", name}});
   }
+}
+
+void write_sites_json(const Machine& machine, std::ostream& os) {
+  const auto esc = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+      if (c == '"' || c == '\\') {
+        out.push_back('\\');
+        out.push_back(c);
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  };
+  const auto hist = [&os](const char* key, const Histogram& h) {
+    os << "\"" << key << "\": {\"count\": " << h.count() << ", \"mean\": " << h.mean()
+       << ", \"p50\": " << h.quantile(0.5) << ", \"p99\": " << h.quantile(0.99)
+       << ", \"max\": " << h.max() << "}";
+  };
+
+  const NodeStats t = machine.total_stats();
+  os << "{\n";
+  os << "  \"tool\": \"concert-insight\",\n";
+  os << "  \"analysis\": \"sites\",\n";
+  os << "  \"profile_sites\": " << (machine.config().profile_sites ? "true" : "false") << ",\n";
+  os << "  \"nodes\": " << machine.node_count() << ",\n";
+  // The aggregate NodeStats the per-site counts reconcile against:
+  //   sum(attempts) == stack_calls, sum(nb_hits) == stack_completions,
+  //   sum(invokes) == local_invokes + remote_invokes.
+  os << "  \"totals\": {\"stack_calls\": " << t.stack_calls
+     << ", \"stack_completions\": " << t.stack_completions << ", \"fallbacks\": " << t.fallbacks
+     << ", \"local_invokes\": " << t.local_invokes
+     << ", \"remote_invokes\": " << t.remote_invokes << "},\n";
+  os << "  \"sites\": [";
+  bool first = true;
+  for (const MergedSite& s : merged_sites(machine)) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n    {\"caller\": \"" << esc(site_method_name(machine, s.caller))
+       << "\", \"callee\": \"" << esc(site_method_name(machine, s.rec.callee))
+       << "\", \"invokes\": " << s.rec.invokes << ", \"remote\": " << s.rec.remote
+       << ", \"attempts\": " << s.rec.attempts << ", \"nb_hits\": " << s.rec.nb_hits
+       << ", \"fallbacks\": " << s.rec.fallbacks << ", \"diverts\": " << s.rec.diverts
+       << ", \"nb_hit_frac\": "
+       << (s.rec.attempts > 0
+               ? static_cast<double>(s.rec.nb_hits) / static_cast<double>(s.rec.attempts)
+               : 0.0)
+       << ", ";
+    hist("stack_ns", s.rec.stack_ns);
+    os << ", ";
+    hist("fallback_ns", s.rec.fallback_ns);
+    os << "}";
+  }
+  os << "\n  ]\n}\n";
 }
 
 }  // namespace concert

@@ -17,6 +17,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -109,6 +110,33 @@ struct MachineConfig {
   /// 0 (default) disables the watchdog; every pre-existing run, clock and
   /// paper table is bit-identical with it off.
   std::uint64_t stall_timeout = 0;
+  /// Flight recorder (concert-insight): a tiny fixed-capacity per-node ring
+  /// of coarse scheduler events (dispatch, delivery, suspend/resume, drains,
+  /// flushes, waves, parks) plus periodic queue-depth health samples — the
+  /// lightweight always-on complement to the full tracer. ON by default:
+  /// recording is one branch plus a masked store, reads no wall clock, and
+  /// stays outside the cost model, so simulated clocks and the paper tables
+  /// are bit-identical with it on or off (test-guarded) and the wall-clock
+  /// cost is within noise (CI-guarded against the throughput floors). The
+  /// ring feeds POSTMORTEM.json when a stall or panic ends the run.
+  bool flight_recorder = true;
+  /// Flight-recorder ring capacity per node, in records (rounded up to a
+  /// power of two, minimum 16).
+  std::size_t flight_capacity = 256;
+  /// Per-call-site profiler (concert-insight): per declared call edge
+  /// (caller method -> callee method) invocation / NB-hit / fallback /
+  /// divert counters and log2 stack-latency histograms, recorded on the
+  /// invoke and fallback paths. Off by default — one predictable branch per
+  /// site when off, steady_clock stamps when on; recording is outside the
+  /// cost model, so simulated clocks are bit-identical either way.
+  /// Exported through MetricsRegistry and write_sites_json (SITES_*.json).
+  bool profile_sites = false;
+  /// Where the stall watchdog and the engines' panic paths write the
+  /// machine-readable postmortem (flight rings, queue depths, suspended-
+  /// context chains, vclock frontier) before rethrowing. One dump per run;
+  /// empty disables the file without affecting the free-text stall_report()
+  /// carried in the exception message. Rendered by `concert_trace postmortem`.
+  std::string postmortem_path = "POSTMORTEM.json";
 };
 
 class Machine {
@@ -178,6 +206,17 @@ class Machine {
   /// not concurrently mutating (tests call it directly).
   std::string stall_report() const;
 
+  // ---- concert-insight (postmortems) ----
+  /// Serializes the machine-readable postmortem: per-node queue depths,
+  /// flight-recorder rings, health aggregates, suspended-context chains and
+  /// vclock frontiers (machine/postmortem.cpp). Callable any time the nodes
+  /// are not concurrently mutating.
+  void write_postmortem(std::ostream& os, const std::string& reason) const;
+  /// Writes the postmortem to MachineConfig::postmortem_path — at most once
+  /// per run (engines re-arm at run start) and a no-op when the path is
+  /// empty. Returns the path written, or "" when nothing was written.
+  std::string dump_postmortem(const std::string& reason);
+
   // ---- concert-scope (tracing / metrics) ----
   /// Draws a machine-unique causal id (> 0) for trace flow events: assigned
   /// to a message at send time and re-recorded at receive, or to a suspend
@@ -201,6 +240,15 @@ class Machine {
   /// idle; it charges nothing, so simulated clocks are unaffected.
   void quiesce_memory();
 
+  /// Re-arms the once-per-run postmortem dump; engines call it at run start.
+  void arm_postmortem() { postmortem_dumped_ = false; }
+
+  /// Takes a queue-depth health sample on every node. The deterministic
+  /// engine calls this on its watchdog cadence (single-threaded, outside the
+  /// cost model); the threaded engine samples per node from the owning
+  /// thread instead and never calls this.
+  void sample_health_all();
+
   MachineConfig config_;
   MethodRegistry registry_;
   std::vector<std::unique_ptr<Node>> nodes_;
@@ -208,6 +256,7 @@ class Machine {
  private:
   Tracer::Clock::time_point trace_epoch_{};
   std::atomic<std::uint64_t> trace_cause_{0};
+  bool postmortem_dumped_ = false;
 };
 
 class MetricsRegistry;
@@ -215,7 +264,17 @@ class MetricsRegistry;
 /// Fills `out` with the machine's counters and histograms: every NodeStats
 /// field summed across nodes, plus (when MachineConfig::metrics was on) the
 /// merged invocation-latency, per-method latency, inbox-depth,
-/// context-lifetime and flush-size histograms. Call after quiescence.
+/// context-lifetime and flush-size histograms, plus (when
+/// MachineConfig::flight_recorder was on) merged queue-depth health
+/// histograms and a load-skew gauge, plus (when MachineConfig::profile_sites
+/// was on) per-call-edge counters and latency histograms. Call after
+/// quiescence.
 void export_metrics(const Machine& machine, MetricsRegistry& out);
+
+/// Dumps the per-call-site profile (SITES_*.json): every (caller, callee)
+/// edge merged across nodes with invocation / NB-hit / fallback / divert
+/// counts, latency quantiles and the NodeStats totals the counts reconcile
+/// against. Empty `sites` array unless MachineConfig::profile_sites was on.
+void write_sites_json(const Machine& machine, std::ostream& os);
 
 }  // namespace concert

@@ -17,6 +17,8 @@ Node::Node(NodeId id, Machine& machine)
       objects_(id) {
   verifier.set_enabled(machine.config().verify);
   if (machine.config().metrics) metrics_ = std::make_unique<NodeMetrics>();
+  if (machine.config().flight_recorder) flight.enable(machine.config().flight_capacity);
+  if (machine.config().profile_sites) sites_.enable();
 }
 
 MethodRegistry& Node::registry() { return machine_.registry(); }
@@ -130,6 +132,7 @@ void Node::suspend(Context& ctx) {
   } else {
     ctx.status = ContextStatus::Waiting;
     ++stats.suspensions;
+    frec(FlightKind::Suspend, ctx.method, ctx.id);
     verifier.record_block(ctx.method);
     if (tracer.enabled()) {
       // A fresh flow id per suspension: the matching Resume re-records it,
@@ -148,6 +151,7 @@ void Node::suspend(Context& ctx) {
 
 void Node::resume(Context& ctx) {
   ++stats.resumptions;
+  frec(FlightKind::Resume, ctx.method, ctx.id);
   verifier.record_resume(ctx.id);
   trace(TraceKind::Resume, ctx.method, ctx.trace_flow);
   if (fallback_policy() == FallbackPolicy::AlwaysRetrySequential && ctx.reverted) {
@@ -206,6 +210,7 @@ bool Node::run_one() {
   ctx.status = ContextStatus::Running;
   charge(costs().dispatch);
   const MethodId method = ctx.method;
+  frec(FlightKind::Dispatch, method, ctx.id);
   trace(TraceKind::DispatchBegin, method);
   const ParStep par = dispatch(method).par;
   CONCERT_CHECK(par != nullptr, "context " << ctx.ref() << " has no parallel version");
@@ -311,6 +316,7 @@ void Node::flush_outbox(NodeId dst) {
     ++stats.bundles_sent;
     stats.msgs_coalesced += n;
   }
+  frec(FlightKind::OutboxFlush, kInvalidMethod, static_cast<std::uint32_t>(n));
   trace(TraceKind::OutboxFlush, kInvalidMethod);
   machine_.route(*this, std::move(out));
   // Retire the staged elements' outstanding-work credits only after the
@@ -352,6 +358,10 @@ void Node::deliver(Message& msg) {
 }
 
 void Node::deliver_element(Message& msg) {
+  // One flight record per delivered message, whether it arrived plain, in a
+  // bundle, or as the non-wave remainder of a drained batch (wave runs are
+  // recorded once as WaveRun instead).
+  frec(FlightKind::Deliver, msg.method, msg.src);
   // Delivery-order sanitizer (concert-race): join the sender's stamp into
   // this node's clock, and probe Invoke deliveries per target object for
   // unordered (concurrent-stamped) method pairs.
@@ -505,6 +515,16 @@ void Node::execute_wave(MethodId method, bool recv_accounted) {
   stats.stack_calls += n;
   stats.stack_completions += n;
   stats.record_wave(n);
+  frec(FlightKind::WaveRun, method, static_cast<std::uint32_t>(n));
+  if (sites_.enabled()) {
+    // Wave members are wrapper-path executions: no declared caller, so they
+    // aggregate under the "(message)" pseudo-caller. A wave only ever runs
+    // NB members, so every attempt is a hit; the sender already counted the
+    // invocation (invokes/remote stay untouched, mirroring NodeStats).
+    SiteRecord& site = sites_.at(kInvalidMethod, method);
+    site.attempts += n;
+    site.nb_hits += n;
+  }
   trace(TraceKind::StackRun, method);
   if (metrics_) metrics_->wave_size.record(n);
   {
@@ -565,6 +585,7 @@ std::size_t Node::drain_inbox(std::vector<Message>& out, std::size_t max) {
   const std::size_t n = inbox_.drain(std::back_inserter(out), max);
   if (n > 0) {
     stats.record_inbox_batch(n);
+    frec(FlightKind::InboxDrain, kInvalidMethod, static_cast<std::uint32_t>(n));
     if (metrics_) metrics_->inbox_depth.record(n);
   }
   return n;
@@ -584,6 +605,7 @@ void Node::park_inbox(std::chrono::microseconds timeout) {
     // that rides on the wake — every queued message holds its work credit.
     if (inbox_.consumer_empty()) {
       ++stats.inbox_parks;
+      frec(FlightKind::Park);
       park_cv_.wait_for(lk, timeout);
       // Consumer-side wakeup accounting (producers must not touch another
       // node's stats): a park that ends with work waiting was a productive

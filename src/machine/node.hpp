@@ -31,8 +31,10 @@
 #include "objects/location_cache.hpp"
 #include "objects/object_space.hpp"
 #include "support/arena.hpp"
+#include "support/flight_recorder.hpp"
 #include "support/histogram.hpp"
 #include "support/rng.hpp"
+#include "support/site_profiler.hpp"
 #include "support/stats.hpp"
 #include "verify/recorder.hpp"
 
@@ -275,9 +277,32 @@ class Node {
   NodeMetrics* metrics() { return metrics_.get(); }
   const NodeMetrics* metrics() const { return metrics_.get(); }
 
+  // ---- observability (concert-insight) ----
+  /// Records one flight-recorder event when the ring is enabled (one branch
+  /// plus a masked store when on, one branch when off). Never charges the
+  /// cost model and reads no wall clock, so runs are bit-identical either way.
+  void frec(FlightKind kind, MethodId method = kInvalidMethod, std::uint32_t arg = 0) {
+    if (flight.enabled()) flight.record(clock_, kind, method, arg);
+  }
+  /// Takes one queue-depth health sample. Engines call this periodically
+  /// from whichever thread owns the node (the deterministic engine's
+  /// scheduling loop, or the node's own thread in the threaded engine).
+  void sample_health() {
+    health.add(ready_.size(), outbox_.total(), arena_.live_count());
+  }
+  /// Per-call-edge profile (MachineConfig::profile_sites); empty and
+  /// disabled by default. Touched only by this node's thread.
+  SiteProfiler& sites() { return sites_; }
+  const SiteProfiler& sites() const { return sites_; }
+
   NodeStats stats;
   SplitMix64 rng;
   Tracer tracer;
+  /// Always-on last-N scheduler-event ring + queue-depth health samples
+  /// (concert-insight); dumped into POSTMORTEM.json on stall/panic. Touched
+  /// only by this node's thread; read after quiescence or thread join.
+  FlightRecorder flight;
+  HealthStats health;
   /// Conformance sanitizer hook (enabled from MachineConfig::verify; records
   /// nothing and costs one branch per site when off). Touched only by this
   /// node's thread, like the outbox. Checked by verify::check_conformance.
@@ -350,6 +375,7 @@ class Node {
   /// leave as one bundle per destination when the run retires.
   bool wave_staging_ = false;
   std::unique_ptr<NodeMetrics> metrics_;  ///< Null unless MachineConfig::metrics.
+  SiteProfiler sites_;  ///< Disabled (and empty) unless MachineConfig::profile_sites.
   ObjectSpace objects_;
   LocationCache loc_cache_;
   BlockInjector injector_;

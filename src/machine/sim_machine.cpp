@@ -14,6 +14,23 @@ void SimMachine::route(Node& from, Message msg) {
 }
 
 void SimMachine::run_until_quiescent() {
+  // Postmortem (concert-insight): any ProtocolError that unwinds this run —
+  // the stall budget below, or a protocol check firing inside a node action
+  // or the quiescence verifier — dumps the machine-readable POSTMORTEM.json
+  // before rethrowing. The engine is single-threaded, so node-private state
+  // (flight rings, queues) is safe to read from the catch.
+  arm_postmortem();
+  try {
+    run_loop();
+    quiesce_memory();
+    verify_at_quiescence();
+  } catch (const ProtocolError&) {
+    dump_postmortem("panic");
+    throw;
+  }
+}
+
+void SimMachine::run_loop() {
   const std::size_t n = nodes_.size();
   // Stall watchdog (MachineConfig::stall_timeout): the conservative scheduler
   // cannot stall while work remains — it either acts or declares quiescence —
@@ -22,13 +39,20 @@ void SimMachine::run_until_quiescent() {
   // steady_clock read stays off the per-action path (and off entirely when
   // the watchdog is disabled, keeping runs bit-identical).
   const std::uint64_t timeout_ms = config_.stall_timeout;
+  const bool health = config_.flight_recorder;
   const auto entered = std::chrono::steady_clock::now();
   while (true) {
+    // Health sampling shares the watchdog's every-4096-actions cadence (and
+    // fires once at action 0, so even tiny runs get one sample per run).
+    // Outside the cost model: clocks are untouched.
+    if (health && (actions_ & 0xfff) == 0) sample_health_all();
     if (timeout_ms > 0 && (actions_ & 0xfff) == 0 &&
         std::chrono::steady_clock::now() - entered >= std::chrono::milliseconds(timeout_ms)) {
+      const std::string pm = dump_postmortem("stall");
       CONCERT_CHECK(false, "deterministic engine exceeded its stall budget of "
                                << timeout_ms << " ms after " << actions_
-                               << " actions (livelock?)\n"
+                               << " actions (livelock?)"
+                               << (pm.empty() ? "" : "\npostmortem written to " + pm) << "\n"
                                << stall_report());
     }
     // Pick the enabled action with the smallest timestamp. Message delivery
@@ -111,8 +135,6 @@ void SimMachine::run_until_quiescent() {
     }
     ++actions_;
   }
-  quiesce_memory();
-  verify_at_quiescence();
 }
 
 }  // namespace concert

@@ -27,6 +27,10 @@ class SimMachine final : public Machine {
   std::uint64_t actions() const { return actions_; }
 
  private:
+  /// The scheduling loop proper; run_until_quiescent wraps it with the
+  /// postmortem dump-on-panic bracket (concert-insight).
+  void run_loop();
+
   SimNetwork network_;
   std::uint64_t actions_ = 0;
   /// Merged-wave delivery batch (MachineConfig::merge_waves): the deliverable

@@ -117,7 +117,12 @@ void ThreadedMachine::node_loop(NodeId id) {
   batch.reserve(kInboxBatch);
   const bool oversubscribed = std::thread::hardware_concurrency() < nodes_.size() + 1;
   unsigned idle = 0;
+  unsigned turns = 0;
   while (true) {
+    // Health sampling (concert-insight): every 1024 loop turns, from the
+    // node's own thread — no cross-thread reads, no cost-model charge. Turn 0
+    // samples too, so even short runs record a baseline.
+    if ((turns++ & 0x3ff) == 0 && nd.flight.enabled()) nd.sample_health();
     batch.clear();
     if (nd.drain_inbox(batch, kInboxBatch) > 0) {
       if (config_.merge_waves) {
@@ -180,6 +185,7 @@ void ThreadedMachine::node_loop(NodeId id) {
 }
 
 void ThreadedMachine::run_until_quiescent() {
+  arm_postmortem();
   stop_.store(false, std::memory_order_release);
   // Arm the stall watchdog before any thread exists: node threads read watch_
   // plain, and thread creation orders this write before their first action.
@@ -231,14 +237,23 @@ void ThreadedMachine::run_until_quiescent() {
   for (std::size_t i = 0; i < nodes_.size(); ++i) node(static_cast<NodeId>(i)).wake_inbox();
   for (auto& t : threads) t.join();
   // Node threads are gone; memory housekeeping and the recorders are safe to
-  // touch from here.
+  // touch from here. A detected stall dumps the machine-readable postmortem
+  // (concert-insight) before the check throws; any other protocol panic on
+  // the way out (e.g. the quiescence verifier) dumps one too, then rethrows.
   quiesce_memory();
-  CONCERT_CHECK(!stalled, "threaded engine stalled: no scheduling progress for "
-                              << timeout_ms << " ms with "
-                              << outstanding_.load(std::memory_order_acquire)
-                              << " outstanding work credit(s)\n"
-                              << stall_report());
-  verify_at_quiescence();
+  const std::string pm = stalled ? dump_postmortem("stall") : std::string();
+  try {
+    CONCERT_CHECK(!stalled, "threaded engine stalled: no scheduling progress for "
+                                << timeout_ms << " ms with "
+                                << outstanding_.load(std::memory_order_acquire)
+                                << " outstanding work credit(s)"
+                                << (pm.empty() ? "" : "\npostmortem written to " + pm) << "\n"
+                                << stall_report());
+    verify_at_quiescence();
+  } catch (const ProtocolError&) {
+    dump_postmortem("panic");
+    throw;
+  }
 }
 
 }  // namespace concert

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <istream>
 #include <ostream>
+#include <unordered_set>
 
 #include "machine/machine.hpp"
 
@@ -175,7 +176,26 @@ double display_ts(const TraceDump& dump, const TraceRecord& r) {
 
 }  // namespace
 
+std::uint64_t count_incomplete_flows(const TraceDump& dump) {
+  std::unordered_set<std::uint64_t> sends;
+  for (const TraceEvent& e : dump.events) {
+    if (e.rec.kind == TraceKind::MsgSend && e.rec.cause != 0) sends.insert(e.rec.cause);
+  }
+  std::uint64_t incomplete = 0;
+  for (const TraceEvent& e : dump.events) {
+    if (e.rec.kind == TraceKind::MsgRecv && e.rec.cause != 0 && sends.count(e.rec.cause) == 0) {
+      ++incomplete;
+    }
+  }
+  return incomplete;
+}
+
 void write_chrome_trace(const TraceDump& dump, std::ostream& os) {
+  write_chrome_trace(dump, os, {});
+}
+
+void write_chrome_trace(const TraceDump& dump, std::ostream& os,
+                        const std::vector<ChromeSlice>& extra) {
   os << "{\"traceEvents\": [";
   bool first = true;
   auto emit_head = [&](NodeId node, const char* ph, const char* name, double ts) {
@@ -244,8 +264,22 @@ void write_chrome_trace(const TraceDump& dump, std::ostream& os) {
         break;
     }
   }
+  // Overlay track (pid 1): extra slices — e.g. the critical path — rendered
+  // above the per-node timelines, with a process-name metadata record so
+  // Perfetto labels the track.
+  if (!extra.empty()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n{\"pid\":1,\"tid\":0,\"ph\":\"M\",\"name\":\"process_name\","
+       << "\"args\":{\"name\":\"critical path\"}}";
+    for (const ChromeSlice& s : extra) {
+      os << ",\n{\"pid\":1,\"tid\":0,\"ph\":\"X\",\"name\":\"" << s.name << "\",\"cat\":\""
+         << s.cat << "\",\"ts\":" << s.ts_us << ",\"dur\":" << s.dur_us << "}";
+    }
+  }
   os << "\n],\n\"metadata\": {\"tool\":\"concert-scope\",\"nodes\":" << dump.node_count
-     << ",\"dropped_events\":" << dump.dropped << ",\"time_domain\":\""
+     << ",\"dropped_events\":" << dump.dropped
+     << ",\"incomplete_flows\":" << count_incomplete_flows(dump) << ",\"time_domain\":\""
      << (dump.wall_time ? "wall" : "sim") << "\",\"us_per_insn\":" << dump.us_per_insn
      << "}\n}\n";
 }

@@ -154,10 +154,30 @@ bool read_binary_trace(std::istream& is, TraceDump& out, std::string* err = null
 /// send/recv and suspend/resume pairs become Perfetto flow events bound to
 /// their causal ids, everything else becomes instants. Timestamps come from
 /// the dump's display domain (wall ns -> us, or sim instructions -> us).
-/// The metadata block surfaces the dropped-record count.
+/// The metadata block surfaces the dropped-record and incomplete-flow counts.
 void write_chrome_trace(const TraceDump& dump, std::ostream& os);
+
+/// An extra duration slice overlaid on the export (concert-insight renders
+/// the critical path this way): drawn on a dedicated track (pid 1) above the
+/// per-node timelines.
+struct ChromeSlice {
+  std::string name;
+  std::string cat;
+  double ts_us;
+  double dur_us;
+};
+
+/// Chrome export with extra overlay slices on a "critical path" track.
+void write_chrome_trace(const TraceDump& dump, std::ostream& os,
+                        const std::vector<ChromeSlice>& extra);
 
 /// Convenience overload: dump + export in simulated time.
 void write_chrome_trace(const Machine& machine, std::ostream& os);
+
+/// Flows that cannot be paired anymore: MsgRecv events whose matching MsgSend
+/// record was overwritten in a full ring (or never traced). A non-zero count
+/// means causal analyses (critpath, flow pairing) see a truncated graph —
+/// surfaced by `concert_trace summary` and the Chrome export metadata.
+std::uint64_t count_incomplete_flows(const TraceDump& dump);
 
 }  // namespace concert

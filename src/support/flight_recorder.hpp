@@ -1,0 +1,135 @@
+// Always-on flight recorder + node-health sampler (concert-insight).
+//
+// The full tracer (concert-scope, machine/trace.hpp) records every scheduler
+// event with wall timestamps and causal flow ids — priceless offline, far too
+// heavy to leave on in production runs. The flight recorder is the complement:
+// a tiny fixed-record ring per node, on by default, that keeps only the last-N
+// coarse scheduler events (dispatches, deliveries, suspend/resume, drains,
+// flushes, waves, parks). Recording is a masked store plus one branch, reads
+// no wall clock, and never touches the simulated cost model, so paper tables
+// are bit-identical with it on or off. Its sole consumer is the postmortem
+// path: when the stall watchdog fires or a protocol check panics, each node's
+// ring is dumped into POSTMORTEM.json so the crash site comes with recent
+// history attached.
+//
+// HealthStats rides along: engines periodically sample each node's queue
+// depths (ready, outbox backlog, live contexts) into log2 histograms, giving
+// load-skew metrics without per-event cost. The deterministic engine samples
+// on its watchdog cadence (outside the cost model); the threaded engine
+// samples from each node's own loop, so no cross-thread reads happen.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/ids.hpp"
+#include "support/histogram.hpp"
+
+namespace concert {
+
+/// Coarse event classes kept in the flight ring. Deliberately fewer and
+/// cheaper than TraceKind: one record per scheduler decision, batched where
+/// the scheduler batches (a 128-message drain is one InboxDrain record).
+enum class FlightKind : std::uint8_t {
+  Dispatch,    ///< heap context step began (arg = context id)
+  Deliver,     ///< one message delivered (arg = source node)
+  Suspend,     ///< context suspended on unfilled slots (arg = context id)
+  Resume,      ///< suspended context re-enqueued (arg = context id)
+  InboxDrain,  ///< inbox batch pulled (arg = batch size)
+  OutboxFlush, ///< staged outbox flushed (arg = messages flushed)
+  WaveRun,     ///< merged wave executed (arg = wave size)
+  Park,        ///< consumer parked idle (threaded engine)
+};
+inline constexpr std::size_t kFlightKindCount = 8;
+
+inline const char* flight_kind_name(FlightKind k) {
+  switch (k) {
+    case FlightKind::Dispatch: return "dispatch";
+    case FlightKind::Deliver: return "deliver";
+    case FlightKind::Suspend: return "suspend";
+    case FlightKind::Resume: return "resume";
+    case FlightKind::InboxDrain: return "inbox_drain";
+    case FlightKind::OutboxFlush: return "outbox_flush";
+    case FlightKind::WaveRun: return "wave_run";
+    case FlightKind::Park: return "park";
+  }
+  return "?";
+}
+
+/// One flight record: 24 bytes, no wall timestamp (the node's simulated clock
+/// is free — it is already in a register on every recording site).
+struct FlightRec {
+  std::uint64_t clock = 0;
+  std::uint32_t arg = 0;
+  MethodId method = kInvalidMethod;
+  FlightKind kind = FlightKind::Dispatch;
+};
+
+/// Fixed-capacity per-node ring. Single-writer (the node's owning thread);
+/// only read after quiescence or thread join, so no synchronization.
+class FlightRecorder {
+ public:
+  void enable(std::size_t capacity) {
+    std::size_t cap = 16;
+    while (cap < capacity) cap <<= 1;
+    ring_.assign(cap, FlightRec{});
+    mask_ = cap - 1;
+    total_ = 0;
+    enabled_ = true;
+  }
+  void disable() {
+    ring_.clear();
+    ring_.shrink_to_fit();
+    mask_ = 0;
+    total_ = 0;
+    enabled_ = false;
+  }
+
+  bool enabled() const { return enabled_; }
+  /// Events ever recorded (>= retained count; the ring keeps the newest).
+  std::uint64_t total() const { return total_; }
+  std::size_t capacity() const { return ring_.size(); }
+
+  /// Hot path: callers check enabled() first (inlined to a branch + store).
+  void record(std::uint64_t clock, FlightKind kind, MethodId method, std::uint32_t arg) {
+    ring_[total_ & mask_] = FlightRec{clock, arg, method, kind};
+    ++total_;
+  }
+
+  /// Retained records, oldest first.
+  std::vector<FlightRec> snapshot() const {
+    std::vector<FlightRec> out;
+    if (!enabled_ || total_ == 0) return out;
+    const std::uint64_t kept = total_ < ring_.size() ? total_ : ring_.size();
+    out.reserve(static_cast<std::size_t>(kept));
+    for (std::uint64_t i = total_ - kept; i < total_; ++i)
+      out.push_back(ring_[i & mask_]);
+    return out;
+  }
+
+ private:
+  std::vector<FlightRec> ring_;
+  std::uint64_t mask_ = 0;
+  std::uint64_t total_ = 0;
+  bool enabled_ = false;
+};
+
+/// Periodic queue-depth samples for one node. Histograms (not just sums) so
+/// the postmortem and metrics export can report p50/p99 depth and the export
+/// layer can compute load skew across nodes from per-node means.
+struct HealthStats {
+  std::uint64_t samples = 0;
+  Histogram ready_depth;
+  Histogram outbox_depth;
+  Histogram live_ctx;
+
+  void add(std::uint64_t ready, std::uint64_t outbox, std::uint64_t live) {
+    ++samples;
+    ready_depth.record(ready);
+    outbox_depth.record(outbox);
+    live_ctx.record(live);
+  }
+};
+
+}  // namespace concert

@@ -40,6 +40,31 @@ void write_labels_json(std::ostream& os, const MetricLabels& labels) {
   os << "}";
 }
 
+/// Prometheus exposition escapes (text format spec): HELP text escapes
+/// backslash and newline; label values additionally escape double quotes.
+std::string prom_escape_help(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+std::string prom_escape_label(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
 /// Prometheus label block: `{k="v",...}` or empty. `extra` appends one more
 /// label (used for `le`).
 std::string prom_labels(const MetricLabels& labels, const std::string& extra_key = "",
@@ -50,7 +75,7 @@ std::string prom_labels(const MetricLabels& labels, const std::string& extra_key
   for (const auto& [k, v] : labels) {
     if (!first) out += ",";
     first = false;
-    out += k + "=\"" + v + "\"";
+    out += k + "=\"" + prom_escape_label(v) + "\"";
   }
   if (!extra_key.empty()) {
     if (!first) out += ",";
@@ -130,7 +155,7 @@ void MetricsRegistry::write_prometheus(std::ostream& os) const {
       if (s == name) return;
     }
     seen.push_back(name);
-    if (!help.empty()) os << "# HELP " << name << " " << help << "\n";
+    if (!help.empty()) os << "# HELP " << name << " " << prom_escape_help(help) << "\n";
     os << "# TYPE " << name << " " << type << "\n";
   };
 

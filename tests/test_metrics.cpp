@@ -169,6 +169,62 @@ TEST(Metrics, PrometheusExposition) {
   EXPECT_EQ(s.find("# TYPE app_latency_ns histogram", first + 1), std::string::npos);
 }
 
+TEST(Metrics, PrometheusBucketsAreCumulativeAndMonotonic) {
+  // Conformance: every emitted `le` series must be non-decreasing, end in a
+  // +Inf bucket equal to _count, and use numeric le values in order.
+  Histogram h;
+  for (std::uint64_t v : {1u, 2u, 2u, 40u, 900u, 5000u}) h.record(v);
+  MetricsRegistry reg;
+  reg.add_counter("fmt_events_total", "events", 6);
+  reg.add_histogram("fmt_latency_ns", "latency", h);
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  std::istringstream is(os.str());
+  std::string line;
+  double last_le = -1.0;
+  std::uint64_t last_cum = 0;
+  bool saw_inf = false;
+  std::uint64_t inf_value = 0;
+  while (std::getline(is, line)) {
+    const std::string prefix = "fmt_latency_ns_bucket{le=\"";
+    if (line.compare(0, prefix.size(), prefix) != 0) continue;
+    const std::size_t q = line.find('"', prefix.size());
+    ASSERT_NE(q, std::string::npos);
+    const std::string le = line.substr(prefix.size(), q - prefix.size());
+    const std::uint64_t cum = std::stoull(line.substr(line.rfind(' ') + 1));
+    EXPECT_GE(cum, last_cum) << "bucket counts must be cumulative";
+    last_cum = cum;
+    if (le == "+Inf") {
+      saw_inf = true;
+      inf_value = cum;
+    } else {
+      ASSERT_FALSE(saw_inf) << "+Inf must be the final bucket";
+      const double v = std::stod(le);
+      EXPECT_GT(v, last_le) << "le thresholds must be increasing";
+      last_le = v;
+    }
+  }
+  ASSERT_TRUE(saw_inf);
+  EXPECT_EQ(inf_value, h.count());
+  EXPECT_NE(os.str().find("fmt_latency_ns_count 6\n"), std::string::npos);
+}
+
+TEST(Metrics, PrometheusEscapesHelpAndLabelValues) {
+  MetricsRegistry reg;
+  reg.add_counter("esc_total", "line one\nline \\two", 1, {{"path", "a\\b \"q\"\nc"}});
+  std::ostringstream os;
+  reg.write_prometheus(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("# HELP esc_total line one\\nline \\\\two\n"), std::string::npos);
+  EXPECT_NE(s.find("esc_total{path=\"a\\\\b \\\"q\\\"\\nc\"} 1\n"), std::string::npos);
+  // The exposition stays one-sample-per-line: no raw newline leaked into it.
+  std::istringstream is(s);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(is, line)) ++lines;
+  EXPECT_EQ(lines, 3u);  // HELP, TYPE, sample
+}
+
 TEST(Metrics, JsonExposition) {
   const MetricsRegistry reg = small_registry();
   std::ostringstream os;
@@ -238,7 +294,13 @@ TEST(Metrics, ExportWithMetricsOffHasCountersButNoHistograms) {
   MetricsRegistry reg;
   export_metrics(m, reg);
   EXPECT_NE(reg.find_counter("concert_local_invokes_total"), nullptr);
-  EXPECT_TRUE(reg.histograms().empty());
+  // The invocation-latency instruments require metrics=true and stay absent;
+  // the always-on health sampler (concert-insight) still exports its
+  // queue-depth histograms.
+  EXPECT_EQ(reg.find_histogram("concert_invoke_latency_ns"), nullptr);
+  EXPECT_EQ(reg.find_histogram("concert_method_latency_ns"), nullptr);
+  EXPECT_EQ(reg.find_histogram("concert_ctx_lifetime_ns"), nullptr);
+  EXPECT_NE(reg.find_histogram("concert_health_ready_depth"), nullptr);
 }
 
 TEST(Metrics, NodeStatsSumsNewCounters) {

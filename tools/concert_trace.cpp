@@ -1,18 +1,30 @@
 // concert_trace: converts, filters, and summarizes concert-scope binary
 // trace dumps (the "CTRACE01" files written by write_binary_trace, e.g.
-// `wallclock_suite --trace`).
+// `wallclock_suite --trace`), and renders concert-insight artifacts.
 //
 //   concert_trace FILE [--summary] [--chrome] [--out PATH] [--top N]
 //                 [--node N] [--method NAME] [--kind KIND]
+//   concert_trace critpath FILE [--json] [--top N] [--out PATH]
+//                 [--perfetto PATH]
+//   concert_trace postmortem FILE
 //
 //   --summary   (default) prints trace statistics: top-N methods by self
 //               time, flow latency (MsgSend->MsgRecv, Suspend->Resume)
-//               p50/p99, and per-kind event counts.
+//               p50/p99, per-kind event counts, and data-quality counters
+//               (dropped records, incomplete flows).
 //   --chrome    writes Chrome trace-event JSON (Perfetto-loadable) to stdout
 //               or --out PATH.
 //   --node/--method/--kind restrict both modes to one node id, one method
 //               name, or one event kind (msg_send, msg_recv, dispatch,
 //               dispatch_end, suspend, resume, stack_run, outbox_flush).
+//
+//   critpath    extracts the causal critical path: ranked per-method
+//               on-path/slack table (default), machine-readable JSON
+//               (--json), or a Perfetto export with the path overlaid as its
+//               own track (--perfetto PATH).
+//   postmortem  renders a POSTMORTEM.json (written by a stalled or panicked
+//               run) as per-node tables: queue depths, health aggregates,
+//               last flight-recorder events, suspended-context chains.
 //
 // Filters drop events *before* conversion/summary, so e.g.
 // `--method sor_step --chrome` yields a timeline of just that method.
@@ -26,8 +38,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "machine/critpath.hpp"
 #include "machine/trace.hpp"
 #include "support/histogram.hpp"
+#include "support/json.hpp"
 #include "support/table.hpp"
 
 namespace concert {
@@ -48,7 +62,10 @@ struct Options {
 
 int usage() {
   std::cerr << "usage: concert_trace FILE [--summary] [--chrome] [--out PATH] [--top N]\n"
-               "                     [--node N] [--method NAME] [--kind KIND]\n";
+               "                     [--node N] [--method NAME] [--kind KIND]\n"
+               "       concert_trace critpath FILE [--json] [--top N] [--out PATH]\n"
+               "                     [--perfetto PATH]\n"
+               "       concert_trace postmortem FILE\n";
   return 2;
 }
 
@@ -204,9 +221,20 @@ int run_summary(const TraceDump& d, const Options& opt) {
       t_max = std::max(t_max, ts);
     }
   }
+  const std::uint64_t incomplete = count_incomplete_flows(d);
   std::cout << "trace: " << d.events.size() << " events, " << d.node_count << " nodes, "
-            << d.dropped << " dropped, domain=" << (d.wall_time ? "wall" : "sim")
+            << d.dropped << " dropped, incomplete_flows=" << incomplete
+            << ", domain=" << (d.wall_time ? "wall" : "sim")
             << ", span=" << fmt_us(t_max - t_min) << "us\n";
+  if (d.dropped > 0) {
+    std::cout << "WARNING: " << d.dropped << " trace record(s) were overwritten in full rings"
+              << (incomplete > 0
+                      ? " and " + std::to_string(incomplete) + " flow(s) lost their send record"
+                      : "")
+              << ";\n         self times, flow latencies, and critical paths below are computed"
+                 " from a\n         truncated event graph -- raise"
+                 " MachineConfig::trace_capacity to trace the full run\n";
+  }
   std::cout << "kinds:";
   for (std::size_t k = 0; k < kTraceKindCount; ++k) {
     if (kind_counts[k] > 0) {
@@ -230,6 +258,182 @@ int run_summary(const TraceDump& d, const Options& opt) {
                   pair_flows(d, TraceKind::MsgSend, TraceKind::MsgRecv));
   print_flow_line("ctx flow (suspend->resume)", d,
                   pair_flows(d, TraceKind::Suspend, TraceKind::Resume));
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// critpath subcommand (concert-insight)
+// ---------------------------------------------------------------------------
+
+int run_critpath(int argc, char** argv) {
+  std::string file, out, perfetto;
+  bool json = false;
+  std::size_t top = 15;
+  for (int i = 2; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(a, "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else if (std::strcmp(a, "--perfetto") == 0 && i + 1 < argc) {
+      perfetto = argv[++i];
+    } else if (std::strcmp(a, "--top") == 0 && i + 1 < argc) {
+      top = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (a[0] == '-') {
+      return usage();
+    } else if (file.empty()) {
+      file = a;
+    } else {
+      return usage();
+    }
+  }
+  if (file.empty()) return usage();
+  std::ifstream is(file, std::ios::binary);
+  if (!is.good()) {
+    std::cerr << "concert_trace: cannot open " << file << "\n";
+    return 1;
+  }
+  TraceDump d;
+  std::string err;
+  if (!read_binary_trace(is, d, &err)) {
+    std::cerr << "concert_trace: " << file << ": " << err << "\n";
+    return 1;
+  }
+  if (d.events.empty()) {
+    std::cerr << "concert_trace: " << file << ": no events (was the run traced?)\n";
+    return 1;
+  }
+  CritPathReport rep = analyze_critical_path(d);
+  if (d.dropped > 0) {
+    std::cerr << "concert_trace: warning: " << d.dropped
+              << " record(s) dropped; the critical path is computed from a truncated graph\n";
+  }
+  if (!perfetto.empty()) {
+    std::ofstream os(perfetto);
+    if (!os.good()) {
+      std::cerr << "concert_trace: cannot write " << perfetto << "\n";
+      return 1;
+    }
+    write_critpath_chrome(rep, d, os);
+    std::cerr << "wrote " << perfetto << "\n";
+  }
+  // The text view ranks; cap its tables at --top. JSON always carries the
+  // full report.
+  auto emit = [&](std::ostream& os) {
+    if (json) {
+      write_critpath_json(rep, d, os);
+    } else {
+      CritPathReport capped = rep;
+      if (capped.methods.size() > top) capped.methods.resize(top);
+      if (capped.edges.size() > top) capped.edges.resize(top);
+      write_critpath_text(capped, d, os);
+    }
+  };
+  if (out.empty()) {
+    emit(std::cout);
+  } else {
+    std::ofstream os(out);
+    if (!os.good()) {
+      std::cerr << "concert_trace: cannot write " << out << "\n";
+      return 1;
+    }
+    emit(os);
+    std::cerr << "wrote " << out << "\n";
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// postmortem subcommand (concert-insight)
+// ---------------------------------------------------------------------------
+
+std::string jnum(const JsonValue& v, const char* key) {
+  std::ostringstream os;
+  os << v.num_or(key, 0);
+  return os.str();
+}
+
+int run_postmortem(int argc, char** argv) {
+  std::string file;
+  for (int i = 2; i < argc; ++i) {
+    if (argv[i][0] == '-') return usage();
+    if (!file.empty()) return usage();
+    file = argv[i];
+  }
+  if (file.empty()) return usage();
+  std::ifstream is(file);
+  if (!is.good()) {
+    std::cerr << "concert_trace: cannot open " << file << "\n";
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  JsonValue doc;
+  std::string err;
+  if (!json_parse(buf.str(), doc, &err)) {
+    std::cerr << "concert_trace: " << file << ": " << err << "\n";
+    return 1;
+  }
+  if (doc.str_or("analysis", "") != "postmortem") {
+    std::cerr << "concert_trace: " << file << ": not a concert postmortem\n";
+    return 1;
+  }
+  std::cout << "postmortem: reason=" << doc.str_or("reason", "?") << ", "
+            << jnum(doc, "nodes") << " nodes, max_clock=" << jnum(doc, "max_clock")
+            << ", live_contexts=" << jnum(doc, "live_contexts")
+            << ", buffered_msgs=" << jnum(doc, "buffered_msgs") << "\n\n";
+
+  const JsonValue* reports = doc.find("node_reports");
+  if (reports == nullptr || !reports->is_array()) {
+    std::cerr << "concert_trace: " << file << ": missing node_reports\n";
+    return 1;
+  }
+  TablePrinter t({"node", "clock", "ready", "outbox", "live_ctx", "suspended", "samples"});
+  for (const JsonValue& nr : reports->arr) {
+    const JsonValue* susp = nr.find("suspended");
+    const JsonValue* health = nr.find("health");
+    t.add_row({jnum(nr, "node"), jnum(nr, "clock"), jnum(nr, "ready"), jnum(nr, "outbox"),
+               jnum(nr, "live_ctx"),
+               std::to_string(susp != nullptr && susp->is_array() ? susp->arr.size() : 0),
+               health != nullptr ? jnum(*health, "samples") : "0"});
+  }
+  t.print(std::cout);
+
+  // Per-node detail: the tail of the flight ring and the suspended-context
+  // chains — the "what was it doing" half of the report.
+  for (const JsonValue& nr : reports->arr) {
+    const JsonValue* flight = nr.find("flight");
+    const JsonValue* susp = nr.find("suspended");
+    const bool have_flight = flight != nullptr && !flight->arr.empty();
+    const bool have_susp = susp != nullptr && !susp->arr.empty();
+    if (!have_flight && !have_susp) continue;
+    std::cout << "\nnode " << jnum(nr, "node") << ":\n";
+    if (have_flight) {
+      const std::size_t n = flight->arr.size();
+      const std::size_t show = std::min<std::size_t>(n, 8);
+      std::cout << "  last " << show << " of " << jnum(nr, "flight_total")
+                << " flight events:\n";
+      for (std::size_t i = n - show; i < n; ++i) {
+        const JsonValue& ev = flight->arr[i];
+        std::cout << "    clock=" << jnum(ev, "clock") << " " << ev.str_or("kind", "?")
+                  << " method=" << ev.str_or("method", "(none)") << " arg=" << jnum(ev, "arg")
+                  << "\n";
+      }
+    }
+    if (have_susp) {
+      std::cout << "  suspended contexts:\n";
+      for (const JsonValue& sc : susp->arr) {
+        std::cout << "    ctx=" << jnum(sc, "ctx") << " " << sc.str_or("method", "?")
+                  << " flow=" << jnum(sc, "flow");
+        const JsonValue* chain = sc.find("chain");
+        if (chain != nullptr && !chain->arr.empty()) {
+          std::cout << " waits-for:";
+          for (const JsonValue& hop : chain->arr) std::cout << " " << hop.str;
+        }
+        std::cout << "\n";
+      }
+    }
+  }
   return 0;
 }
 
@@ -269,6 +473,8 @@ int run(const Options& opt) {
 
 int main(int argc, char** argv) {
   using namespace concert;
+  if (argc > 1 && std::strcmp(argv[1], "critpath") == 0) return run_critpath(argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "postmortem") == 0) return run_postmortem(argc, argv);
   Options opt;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
